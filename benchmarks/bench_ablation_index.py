@@ -1,0 +1,44 @@
+"""Ablation: sorted list vs hash table as outstanding requests grow.
+
+Isolates the paper's §3.4 patch: identical clients except for the
+request index, at increasing file sizes (more outstanding requests).
+The list client's mean latency must grow with file size while the hash
+client's stays flat, and the gap must widen.
+"""
+
+from repro.bench import TestBed
+from repro.config import NfsClientConfig
+from repro.units import MB, to_us
+
+SIZES_MB = (10, 30, 60)
+
+LIST_CLIENT = NfsClientConfig(eager_flush_limits=False, hashtable_index=False)
+HASH_CLIENT = NfsClientConfig(eager_flush_limits=False, hashtable_index=True)
+
+
+def run_ablation():
+    means = {"list": [], "hash": []}
+    for label, cfg in (("list", LIST_CLIENT), ("hash", HASH_CLIENT)):
+        for size in SIZES_MB:
+            bed = TestBed(target="netapp", client=cfg)
+            result = bed.run_sequential_write(size * MB)
+            means[label].append(to_us(result.trace.mean_ns(skip_first=1)))
+    return means
+
+
+def test_ablation_request_index(benchmark, capsys):
+    means = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nindex ablation, mean write() latency (us) by file size:")
+        print(f"  sizes: {SIZES_MB} MB")
+        print(f"  list:  {[f'{v:.0f}' for v in means['list']]}")
+        print(f"  hash:  {[f'{v:.0f}' for v in means['hash']]}")
+    list_means, hash_means = means["list"], means["hash"]
+    # List latency grows with outstanding requests (bounded above by the
+    # drain equilibrium — see EXPERIMENTS.md fig3 notes)...
+    assert list_means[-1] > 1.35 * list_means[0]
+    # ...hash latency does not...
+    assert hash_means[-1] < 1.2 * hash_means[0]
+    # ...and the gap widens monotonically.
+    gaps = [l - h for l, h in zip(list_means, hash_means)]
+    assert gaps == sorted(gaps)

@@ -1,0 +1,47 @@
+"""Ablation: jumbo frames (the paper's §3.5 future-work hypothesis).
+
+"Jumbo packets ... may help by reducing the need for fragmenting and
+reassembling large RPC requests in the IP layer."  With a 9000-byte MTU
+an 8 KB WRITE needs one fragment instead of six, cutting the modelled
+sock_sendmsg cost and the receive-interrupt load.
+"""
+
+from repro.bench import TestBed
+from repro.config import NetConfig, NfsClientConfig
+from repro.units import MB
+
+FILE_MB = 10
+CLIENT = NfsClientConfig(eager_flush_limits=False, hashtable_index=True)
+
+
+def run_pair():
+    out = {}
+    for label, jumbo in (("mtu1500", False), ("jumbo9000", True)):
+        bed = TestBed(
+            target="netapp", client=CLIENT, net=NetConfig.gigabit(jumbo=jumbo)
+        )
+        result = bed.run_sequential_write(FILE_MB * MB)
+        out[label] = {
+            "write_mbps": result.write_mbps,
+            "sendmsg_ms": bed.client_host.cpus.time_by_label.get("sock_sendmsg", 0)
+            / 1e6,
+            # WRITE calls fragment on the way to the server; replies are
+            # single-fragment either way.
+            "rx_frags": bed.server.host.rx_fragments,
+        }
+    return out
+
+
+def test_ablation_jumbo_frames(benchmark, capsys):
+    pair = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\njumbo-frame ablation (10 MB vs filer):")
+        for label, row in pair.items():
+            print(
+                f"  {label:10s} write {row['write_mbps']:6.1f} MBps  "
+                f"sendmsg CPU {row['sendmsg_ms']:6.1f} ms  "
+                f"rx fragments {row['rx_frags']}"
+            )
+    assert pair["jumbo9000"]["sendmsg_ms"] < 0.6 * pair["mtu1500"]["sendmsg_ms"]
+    assert pair["jumbo9000"]["rx_frags"] < pair["mtu1500"]["rx_frags"]
+    assert pair["jumbo9000"]["write_mbps"] >= pair["mtu1500"]["write_mbps"]

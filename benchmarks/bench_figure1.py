@@ -1,0 +1,11 @@
+"""Figure 1: Local vs NFS write throughput, stock client (25-450 MB sweep).
+
+Paper shape: local ext2 peaks near memcpy speed and collapses past
+client RAM; both NFS curves sit flat at network/server throughput
+(~38 MBps filer, ~26 MBps knfsd).  Run at 1/4 memory scale by default
+(DESIGN.md §5).
+"""
+
+
+def test_figure1_local_vs_nfs_stock(run_experiment):
+    run_experiment("fig1", scale=4.0)

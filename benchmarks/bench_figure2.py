@@ -1,0 +1,9 @@
+"""Figure 2: periodic 19 ms write() latency spikes (stock client, 40 MB).
+
+Paper shape: >19 ms spikes roughly every 85-100 calls (MAX_REQUEST_SOFT
+flushes), ~1.4% of calls, inflating the mean several-fold.
+"""
+
+
+def test_figure2_latency_spikes(run_experiment):
+    run_experiment("fig2")

@@ -1,0 +1,10 @@
+"""Figure 3: spikes gone, latency grows (no-flush client, 100 MB).
+
+Paper shape: removing the flush thresholds kills the spikes but the
+sorted-list index makes latency climb with outstanding requests; the
+profiler blames nfs_find_request/nfs_update_request.
+"""
+
+
+def test_figure3_list_scan_growth(run_experiment):
+    run_experiment("fig3")

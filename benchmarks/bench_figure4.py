@@ -1,0 +1,10 @@
+"""Figure 4: hash-table index — flat latency, checkpoint gap (100 MB).
+
+Paper shape: latency flat at the stock client's spike-free level;
+sustained memory throughput ~4x the stock client; a few-hundred-call
+window of reduced jitter coincides with a filer WAFL checkpoint.
+"""
+
+
+def test_figure4_hashtable_flat_latency(run_experiment):
+    run_experiment("fig4")

@@ -1,0 +1,10 @@
+"""Figure 5: latency histograms with the BKL held over sends (30 MB).
+
+Paper shape: the faster server (filer) yields the slower memory writes —
+fatter latency tail, equal minimum; a 100 Mbps server is faster still;
+lock contention is the cause.
+"""
+
+
+def test_figure5_fast_server_slow_writes(run_experiment):
+    run_experiment("fig5")

@@ -1,0 +1,9 @@
+"""Figure 6: histograms after releasing the BKL around sock_sendmsg.
+
+Paper shape: means drop (149->127 us filer, 113->105 us Linux), max and
+jitter clearly reduced, minimum unchanged — the variation was lock wait.
+"""
+
+
+def test_figure6_lock_fix_histograms(run_experiment):
+    run_experiment("fig6")

@@ -1,0 +1,11 @@
+"""Figure 7: Local vs NFS throughput, enhanced client (25-450 MB sweep).
+
+Paper shape: NFS memory writes near local speed while memory lasts and
+nearly equal on both servers; the filer sustains high throughput past
+client RAM (NVRAM as page-cache extension); far beyond memory the
+ordering is filer > Linux server > local disk.
+"""
+
+
+def test_figure7_enhanced_client_sweep(run_experiment):
+    run_experiment("fig7", scale=4.0)

@@ -1,0 +1,9 @@
+"""Table 1: memory write throughput, Normal vs No-lock (5 MB file).
+
+Paper:  filer 115 -> 140 MBps, Linux 138 -> 147 MBps.  Shape: filer
+slower under the stock lock, gains more from the fix, gap narrows.
+"""
+
+
+def test_table1_memory_write_throughput(run_experiment):
+    run_experiment("tab1")

@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Each paper artefact gets one benchmark that runs the corresponding
+experiment end to end (deterministic, so a single round is exact),
+asserts every shape criterion, prints the paper-vs-measured report, and
+stores headline numbers in ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run one experiment under pytest-benchmark and grade it."""
+
+    def runner(experiment_id: str, scale: float = 4.0, quick: bool = False):
+        from repro.experiments import get_experiment
+
+        def body():
+            return get_experiment(experiment_id).run(scale=scale, quick=quick)
+
+        result = benchmark.pedantic(body, rounds=1, iterations=1)
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["criteria_passed"] = sum(
+            c.passed for c in result.comparison.checks
+        )
+        benchmark.extra_info["criteria_total"] = len(result.comparison.checks)
+        with capsys.disabled():
+            print()
+            print(result.render())
+        failed = result.comparison.failed()
+        assert not failed, "failed criteria:\n" + "\n".join(c.row() for c in failed)
+        return result
+
+    return runner

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Database-style workload: small transactions committed with fsync().
+
+The paper's introduction motivates NFS client performance with
+"complex corporate applications such as database and mail services" —
+workloads that require data permanence *before* the write returns
+(§3.6).  This example drives a transaction log over NFS: each commit
+appends a few KB and fsync()s.  Against the filer, NVRAM makes the
+COMMIT-free FILE_SYNC path fast; against the Linux server each fsync
+turns into WRITE+COMMIT and a real disk write.
+
+Run:  python examples/database_fsync.py
+"""
+
+from repro import TestBed
+from repro.bench import LatencyTrace
+from repro.units import MB, to_us
+
+TRANSACTIONS = 400
+RECORD_BYTES = 4096
+
+
+def run_transaction_log(target: str):
+    bed = TestBed(target=target, client="enhanced")
+    commit_latency = LatencyTrace()
+
+    def workload():
+        file = yield from bed.open_file("txlog")
+        for _tx in range(TRANSACTIONS):
+            yield from bed.syscalls.write(file, RECORD_BYTES)
+            start = bed.sim.now
+            yield from bed.syscalls.fsync(file)
+            commit_latency.record(start, bed.sim.now)
+        yield from bed.syscalls.close(file)
+
+    task = bed.sim.spawn(workload())
+    bed.sim.run_until(lambda: task.done)
+    if task.error:
+        raise task.error
+    return bed, commit_latency
+
+
+def main() -> None:
+    print(f"{TRANSACTIONS} transactions, {RECORD_BYTES} B each, "
+          f"fsync() after every commit\n")
+    results = {}
+    for target in ("netapp", "linux", "local"):
+        bed, commits = run_transaction_log(target)
+        total_s = bed.sim.now / 1e9
+        tps = TRANSACTIONS / total_s
+        results[target] = tps
+        commits_sent = bed.nfs.stats.commits_sent if bed.nfs else "-"
+        print(f"{target:8s} {tps:8.0f} tx/s   "
+              f"commit latency mean {to_us(commits.mean_ns()):7.1f} us  "
+              f"p-max {to_us(commits.max_ns()):8.1f} us   "
+              f"COMMIT RPCs: {commits_sent}")
+    print("\nThe filer acknowledges WRITEs FILE_SYNC from NVRAM - no COMMIT,"
+          "\nno disk wait - so synchronous transaction commits run at network"
+          "\nlatency. The Linux server pays a COMMIT round trip plus a disk"
+          "\nwrite per transaction ('where applications require data"
+          "\npermanence before a write() returns, the filer performs better').")
+    assert results["netapp"] > results["linux"]
+
+
+if __name__ == "__main__":
+    main()

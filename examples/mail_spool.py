@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Mail-spool workload: many small files, each fsynced before delivery.
+
+The paper's introduction names "database and mail services" as the
+applications whose success hinges on NFS client performance.  A mail
+server (sendmail/postfix style) writes each message to its own spool
+file and must fsync before acknowledging the SMTP transaction.  This
+example delivers a batch of messages over NFS and reports deliveries
+per second — another angle on the §3.6 data-permanence story.
+
+Run:  python examples/mail_spool.py
+"""
+
+from repro import TestBed
+from repro.sim import RngStreams
+from repro.units import KIB
+
+MESSAGES = 150
+CONCURRENCY = 4  # delivery agents
+
+
+def deliver_batch(target: str):
+    bed = TestBed(target=target, client="enhanced")
+    rng = RngStreams(seed=2).stream("mail-sizes")
+    sizes = [rng.randrange(2 * KIB, 64 * KIB) for _ in range(MESSAGES)]
+    delivered = []
+    queue = list(enumerate(sizes))
+
+    def agent(agent_id):
+        while queue:
+            msg_id, size = queue.pop(0)
+            file = yield from bed.open_file(f"spool/msg{msg_id}")
+            remaining = size
+            while remaining > 0:
+                chunk = min(8192, remaining)
+                yield from bed.syscalls.write(file, chunk)
+                remaining -= chunk
+            yield from bed.syscalls.fsync(file)  # SMTP must not lie
+            yield from bed.syscalls.close(file)
+            delivered.append(msg_id)
+
+    start = bed.sim.now
+    tasks = [
+        bed.sim.spawn(agent(i), name=f"agent{i}", daemon=True)
+        for i in range(CONCURRENCY)
+    ]
+    bed.sim.run_until(lambda: all(t.done for t in tasks))
+    for t in tasks:
+        if t.error:
+            raise t.error
+    elapsed_s = (bed.sim.now - start) / 1e9
+    return len(delivered) / elapsed_s, sum(sizes) / elapsed_s / 1e6
+
+
+def main() -> None:
+    print(f"{MESSAGES} messages (2-64 KiB), {CONCURRENCY} delivery agents, "
+          f"fsync per message\n")
+    for target in ("netapp", "linux", "local"):
+        rate, mbps = deliver_batch(target)
+        print(f"{target:8s} {rate:8.0f} msgs/s   ({mbps:5.1f} MBps)")
+    print("\nPer-message fsync makes delivery latency-bound: the filer's"
+          "\nNVRAM answers stable WRITEs at network latency while knfsd"
+          "\npays COMMIT plus a disk pass per message.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Why the paper benchmarks writes, not reads (§2.3).
+
+"Client O/S caching moderates the performance of application read
+requests on the client; writes reflect network efficiencies and
+latencies more directly."  This example quantifies that: cached reads
+run at memory speed regardless of the server, cold reads ride the
+read-ahead pipeline, while writes always face the wire sooner or later.
+
+Run:  python examples/read_vs_write.py
+"""
+
+from repro import TestBed
+from repro.config import NfsClientConfig
+from repro.units import MB
+
+FILE_MB = 8
+LAZY = NfsClientConfig(eager_flush_limits=False, hashtable_index=True,
+                       release_bkl_for_send=True)
+
+
+def measure(target: str):
+    bed = TestBed(target=target, client=LAZY)
+    out = {}
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        # Write phase.
+        start = bed.sim.now
+        remaining = FILE_MB * MB
+        while remaining:
+            chunk = min(8192, remaining)
+            yield from bed.syscalls.write(file, chunk)
+            remaining -= chunk
+        out["write"] = FILE_MB * MB / ((bed.sim.now - start) / 1e9)
+        yield from bed.syscalls.fsync(file)
+        out["flush"] = FILE_MB * MB / ((bed.sim.now - start) / 1e9)
+
+        # Warm read: everything still in the client page cache.
+        file.pos = 0
+        start = bed.sim.now
+        while (yield from bed.syscalls.read(file, 8192)):
+            pass
+        out["warm read"] = FILE_MB * MB / ((bed.sim.now - start) / 1e9)
+
+        # Cold read: evict, fetch over the wire with read-ahead.
+        file.cached_pages.clear()
+        file.pos = 0
+        start = bed.sim.now
+        while (yield from bed.syscalls.read(file, 8192)):
+            pass
+        out["cold read"] = FILE_MB * MB / ((bed.sim.now - start) / 1e9)
+        out["read rpcs"] = bed.nfs.stats.reads_sent
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    if task.error:
+        raise task.error
+    return out
+
+
+def main() -> None:
+    print(f"{FILE_MB} MB file, 8 KB calls, enhanced client\n")
+    print(f"{'':12s} {'write':>9s} {'w+flush':>9s} {'warm rd':>9s} {'cold rd':>9s}")
+    for target in ("netapp", "linux", "linux-100"):
+        out = measure(target)
+        print(f"{target:12s} "
+              f"{out['write'] / 1e6:8.1f}M {out['flush'] / 1e6:8.1f}M "
+              f"{out['warm read'] / 1e6:8.1f}M {out['cold read'] / 1e6:8.1f}M")
+    print("\nWarm reads never touch the wire (identical on every server);"
+          "\ncold reads ride read-ahead at near wire speed; writes and"
+          "\nespecially flushes expose the server's real throughput —"
+          "\nwhich is why the paper's benchmark writes (§2.3).")
+
+
+if __name__ == "__main__":
+    main()

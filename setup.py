@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; keeping a setup.py lets ``pip install -e .``
+fall back to ``setup.py develop``, which works without it.
+"""
+
+from setuptools import setup
+
+setup()

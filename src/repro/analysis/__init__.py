@@ -1,0 +1,22 @@
+"""Analysis utilities: statistics and paper-vs-measured comparisons."""
+
+from .compare import Check, Comparison
+from .stats import (
+    linear_slope,
+    mean,
+    percentile,
+    ratio,
+    stddev,
+    windowed_jitter,
+)
+
+__all__ = [
+    "Check",
+    "Comparison",
+    "mean",
+    "stddev",
+    "percentile",
+    "linear_slope",
+    "windowed_jitter",
+    "ratio",
+]

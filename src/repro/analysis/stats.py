@@ -1,0 +1,82 @@
+"""Statistics helpers used by the experiments.
+
+These encode the paper's own reporting conventions: means that exclude
+millisecond outliers (§3.3), spike counting, first-call exclusion
+(§3.5), and trend detection for the growing-latency diagnosis (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "mean",
+    "stddev",
+    "percentile",
+    "linear_slope",
+    "windowed_jitter",
+    "ratio",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return (sum((v - m) ** 2 for v in values) / (n - 1)) ** 0.5
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile {p} out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * p / 100
+    low = int(rank)
+    frac = rank - low
+    if low + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[low] * (1 - frac) + ordered[low + 1] * frac
+
+
+def linear_slope(ys: Sequence[float]) -> float:
+    """Least-squares slope of ys against their indices."""
+    n = len(ys)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2
+    mean_y = mean(ys)
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in enumerate(ys))
+    var = sum((x - mean_x) ** 2 for x in range(n))
+    return cov / var
+
+
+def windowed_jitter(values: Sequence[float], window: int) -> List[Tuple[int, float]]:
+    """(window start, stddev) per non-overlapping window.
+
+    Used to find Fig. 4's low-jitter gap during the filer checkpoint.
+    """
+    if window < 2:
+        raise ValueError("window must cover at least 2 samples")
+    out = []
+    for start in range(0, len(values) - window + 1, window):
+        out.append((start, stddev(values[start : start + window])))
+    return out
+
+
+def ratio(a: float, b: float) -> float:
+    """a/b, 0-safe."""
+    if b == 0:
+        return float("inf") if a else 0.0
+    return a / b

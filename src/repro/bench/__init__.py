@@ -1,0 +1,23 @@
+"""Benchmark harness: Bonnie-derived workload, traces, histograms."""
+
+from .bonnie import BenchmarkResult, SequentialWriteBenchmark
+from .histogram import (
+    PAPER_BIN_WIDTH_NS,
+    PAPER_MAX_NS,
+    Histogram,
+    latency_histogram,
+)
+from .latency import LatencyTrace
+from .runner import SERVER_KINDS, TestBed
+
+__all__ = [
+    "BenchmarkResult",
+    "SequentialWriteBenchmark",
+    "LatencyTrace",
+    "Histogram",
+    "latency_histogram",
+    "PAPER_BIN_WIDTH_NS",
+    "PAPER_MAX_NS",
+    "TestBed",
+    "SERVER_KINDS",
+]

@@ -1,0 +1,82 @@
+"""Latency histograms (Figs. 5 and 6).
+
+The paper bins write() latency in 0.06 ms buckets from 0 to ~0.5 ms;
+:func:`latency_histogram` reproduces that view and renders it as text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..units import us
+
+__all__ = ["Histogram", "latency_histogram", "PAPER_BIN_WIDTH_NS", "PAPER_MAX_NS"]
+
+#: Fig. 5/6 bin width: 0.06 ms.
+PAPER_BIN_WIDTH_NS = us(60)
+#: Fig. 5/6 x-axis extent: 0.48 ms (overflow collected beyond it).
+PAPER_MAX_NS = us(480)
+
+
+class Histogram:
+    """Fixed-width binned counts with an overflow bucket."""
+
+    def __init__(self, bin_width_ns: int, max_ns: int):
+        if bin_width_ns <= 0 or max_ns <= 0 or max_ns % bin_width_ns:
+            raise ValueError("max_ns must be a positive multiple of bin_width_ns")
+        self.bin_width_ns = bin_width_ns
+        self.max_ns = max_ns
+        self.counts: List[int] = [0] * (max_ns // bin_width_ns)
+        self.overflow = 0
+        self.total = 0
+
+    def add(self, value_ns: int) -> None:
+        self.total += 1
+        if value_ns >= self.max_ns:
+            self.overflow += 1
+            return
+        self.counts[value_ns // self.bin_width_ns] += 1
+
+    def add_all(self, values_ns: Sequence[int]) -> None:
+        for value in values_ns:
+            self.add(value)
+
+    def bin_edges_ms(self) -> List[float]:
+        """Lower edges in milliseconds, as the paper labels them."""
+        return [i * self.bin_width_ns / 1e6 for i in range(len(self.counts))]
+
+    def mode_bin_ms(self) -> float:
+        """Lower edge of the most populated bin."""
+        idx = max(range(len(self.counts)), key=lambda i: self.counts[i])
+        return idx * self.bin_width_ns / 1e6
+
+    def tail_fraction(self, from_ns: int) -> float:
+        """Fraction of samples at or above ``from_ns``."""
+        if self.total == 0:
+            return 0.0
+        start_bin = from_ns // self.bin_width_ns
+        tail = sum(self.counts[start_bin:]) + self.overflow
+        return tail / self.total
+
+    def render(self, label: str = "", width: int = 50) -> str:
+        """ASCII rendering in the style of the paper's bar charts."""
+        peak = max(max(self.counts), self.overflow, 1)
+        lines = [f"Latency histogram {label}".rstrip()]
+        for i, count in enumerate(self.counts):
+            edge_ms = i * self.bin_width_ns / 1e6
+            bar = "#" * max(0, round(count / peak * width))
+            lines.append(f"{edge_ms:5.2f} ms |{bar:<{width}}| {count}")
+        bar = "#" * max(0, round(self.overflow / peak * width))
+        lines.append(f" >{self.max_ns / 1e6:4.2f} ms |{bar:<{width}}| {self.overflow}")
+        return "\n".join(lines)
+
+
+def latency_histogram(
+    latencies_ns: Sequence[int],
+    bin_width_ns: int = PAPER_BIN_WIDTH_NS,
+    max_ns: int = PAPER_MAX_NS,
+) -> Histogram:
+    """Bin a latency trace the way Figs. 5/6 do."""
+    hist = Histogram(bin_width_ns, max_ns)
+    hist.add_all(latencies_ns)
+    return hist

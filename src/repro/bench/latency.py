@@ -1,0 +1,110 @@
+"""Per-call latency traces.
+
+The paper's central instrument: "to get to the heart of system call
+misbehavior, it is sometimes necessary to record actual, and not
+average latency" (§2.3).  A trace records every call's start time and
+duration, supporting the actual-latency plots (Figs. 2-4), histograms
+(Figs. 5-6), and the outlier-excluded means quoted throughout §3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..units import NS_PER_MS, to_us
+
+__all__ = ["LatencyTrace"]
+
+
+class LatencyTrace:
+    """Start/end pairs for one syscall stream."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._latencies: List[int] = []
+
+    def record(self, start_ns: int, end_ns: int) -> None:
+        self._starts.append(start_ns)
+        self._latencies.append(end_ns - start_ns)
+
+    # -- access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def latencies_ns(self) -> List[int]:
+        return list(self._latencies)
+
+    @property
+    def starts_ns(self) -> List[int]:
+        return list(self._starts)
+
+    def series_us(self) -> List[Tuple[int, float]]:
+        """(call number, latency µs) pairs — the axes of Figs. 2-4."""
+        return [(i, to_us(lat)) for i, lat in enumerate(self._latencies)]
+
+    # -- statistics --------------------------------------------------------
+
+    def mean_ns(self, exclude_above_ns: Optional[int] = None, skip_first: int = 0) -> float:
+        """Mean latency, optionally excluding outliers and warm-up calls.
+
+        The paper excludes calls above 1 ms when quoting the "healthy"
+        mean (§3.3) and drops the first data point in §3.5's comparison.
+        """
+        values = self._latencies[skip_first:]
+        if exclude_above_ns is not None:
+            values = [v for v in values if v <= exclude_above_ns]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def max_ns(self, skip_first: int = 0) -> int:
+        values = self._latencies[skip_first:]
+        return max(values) if values else 0
+
+    def min_ns(self) -> int:
+        return min(self._latencies) if self._latencies else 0
+
+    def count_above(self, threshold_ns: int) -> int:
+        return sum(1 for v in self._latencies if v > threshold_ns)
+
+    def spikes(self, threshold_ns: int = NS_PER_MS) -> List[int]:
+        """Indices of calls slower than ``threshold_ns`` (default 1 ms)."""
+        return [i for i, v in enumerate(self._latencies) if v > threshold_ns]
+
+    def spike_period(self, threshold_ns: int = NS_PER_MS) -> Optional[float]:
+        """Mean calls between spikes, or None with fewer than two spikes."""
+        spikes = self.spikes(threshold_ns)
+        if len(spikes) < 2:
+            return None
+        gaps = [b - a for a, b in zip(spikes, spikes[1:])]
+        return sum(gaps) / len(gaps)
+
+    def growth_slope_ns_per_call(self, skip_first: int = 0) -> float:
+        """Least-squares slope of latency vs call number.
+
+        Positive slope is Fig. 3's signature (list traversal grows with
+        outstanding requests); ~zero is Fig. 4's (hash table).
+        """
+        ys = self._latencies[skip_first:]
+        n = len(ys)
+        if n < 2:
+            return 0.0
+        xs = range(n)
+        mean_x = (n - 1) / 2
+        mean_y = sum(ys) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        var = sum((x - mean_x) ** 2 for x in xs)
+        return cov / var
+
+    def jitter_ns(self, exclude_above_ns: Optional[int] = None) -> float:
+        """Standard deviation of latency — the paper's "jitter"."""
+        values = self._latencies
+        if exclude_above_ns is not None:
+            values = [v for v in values if v <= exclude_above_ns]
+        n = len(values)
+        if n < 2:
+            return 0.0
+        mean = sum(values) / n
+        return (sum((v - mean) ** 2 for v in values) / (n - 1)) ** 0.5

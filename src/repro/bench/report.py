@@ -1,0 +1,72 @@
+"""Exporting traces and curves for external plotting.
+
+The paper's figures are gnuplot scatter plots and Excel bar charts;
+these helpers dump the equivalent data as CSV (one file per series)
+plus a small gnuplot script, so a reader can regenerate publication
+figures from any experiment's ``data`` dict.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+from .latency import LatencyTrace
+
+__all__ = ["write_trace_csv", "write_curve_csv", "write_histogram_csv", "gnuplot_script"]
+
+
+def write_trace_csv(path: str, trace: LatencyTrace) -> None:
+    """Per-call latency (the Figs. 2-4 axes: call number, ms)."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["call", "latency_ms", "start_s"])
+        for i, (start, latency) in enumerate(
+            zip(trace.starts_ns, trace.latencies_ns)
+        ):
+            writer.writerow([i, latency / 1e6, start / 1e9])
+
+
+def write_curve_csv(path: str, sizes: Sequence[float],
+                    curves: Mapping[str, Sequence[float]]) -> None:
+    """Throughput-vs-size curves (the Figs. 1/7 axes)."""
+    names = list(curves)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["size_mb"] + names)
+        for i, size in enumerate(sizes):
+            writer.writerow([size] + [curves[name][i] for name in names])
+
+
+def write_histogram_csv(path: str, histogram) -> None:
+    """Binned latency counts (the Figs. 5/6 axes)."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["bin_lower_ms", "count"])
+        for edge, count in zip(histogram.bin_edges_ms(), histogram.counts):
+            writer.writerow([edge, count])
+        writer.writerow([histogram.max_ns / 1e6, histogram.overflow])
+
+
+def gnuplot_script(directory: str, trace_files: Sequence[str]) -> str:
+    """A ready-to-run gnuplot script over exported trace CSVs."""
+    lines = [
+        "set datafile separator ','",
+        "set xlabel 'count of write() system calls'",
+        "set ylabel 'actual write() system call latency (millisecs)'",
+        "set yrange [0:1.4]",
+        "set key top right",
+        "plot \\",
+    ]
+    plots = [
+        f"  '{os.path.basename(path)}' using 1:2 every ::1 with points"
+        f" pt 7 ps 0.3 title '{os.path.splitext(os.path.basename(path))[0]}'"
+        for path in trace_files
+    ]
+    lines.append(", \\\n".join(plots))
+    script = "\n".join(lines) + "\n"
+    path = os.path.join(directory, "plot_latency.gp")
+    with open(path, "w") as f:
+        f.write(script)
+    return path

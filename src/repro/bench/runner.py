@@ -1,0 +1,169 @@
+"""Test-bed assembly: one client machine wired to a chosen target.
+
+A :class:`TestBed` reproduces §3.1's systems-under-test: the dual-P3
+client, the gigabit switch, and one of
+
+* ``"netapp"`` — the F85 filer (NVRAM, FILE_SYNC, checkpoints),
+* ``"linux"`` — the 4-way Linux knfsd (UNSTABLE + COMMIT, one disk),
+* ``"linux-100"`` — the same knfsd behind 100 Mbps Ethernet (§3.5),
+* ``"local"`` — client-local ext2 (no server at all).
+
+Client behaviour comes from a variant name or an explicit
+:class:`~repro.config.NfsClientConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..config import (
+    ClientHwConfig,
+    FilerConfig,
+    LinuxServerConfig,
+    LocalFsConfig,
+    MountConfig,
+    NetConfig,
+    NfsClientConfig,
+)
+from ..errors import ConfigError
+from ..kernel.pagecache import PageCache
+from ..kernel.syscalls import SyscallLayer
+from ..localfs import Ext2Fs
+from ..net import Host, Switch
+from ..nfsclient import NfsClient
+from ..nfsclient.variants import variant_config
+from ..server import LinuxNfsServer, NetappFiler
+from ..sim import SamplingProfiler, Simulator
+from ..units import us
+from .bonnie import BenchmarkResult, SequentialWriteBenchmark
+
+__all__ = ["TestBed", "SERVER_KINDS"]
+
+SERVER_KINDS = ("netapp", "linux", "linux-100", "local")
+
+
+class TestBed:
+    """One simulated client/network/target assembly."""
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        target: str = "netapp",
+        client: Union[str, NfsClientConfig, None] = "stock",
+        hw: Optional[ClientHwConfig] = None,
+        net: Optional[NetConfig] = None,
+        mount: Optional[MountConfig] = None,
+        filer_config: Optional[FilerConfig] = None,
+        linux_config: Optional[LinuxServerConfig] = None,
+        local_config: Optional[LocalFsConfig] = None,
+        profile: bool = False,
+    ):
+        if target not in SERVER_KINDS:
+            raise ConfigError(
+                f"unknown target {target!r} (expected one of {SERVER_KINDS})"
+            )
+        self.target = target
+        self.hw = hw or ClientHwConfig()
+        self.net = net or NetConfig.gigabit()
+        self.mount = mount or MountConfig()
+        if isinstance(client, str):
+            self.client_config = variant_config(client)
+        else:
+            self.client_config = client or NfsClientConfig()
+
+        self.sim = Simulator()
+        self.switch = Switch(self.sim)
+        self.client_host = Host(
+            self.sim,
+            "client",
+            self.switch,
+            self.net,
+            ncpus=self.hw.ncpus,
+            costs=self.hw.costs,
+        )
+        self.pagecache = PageCache(
+            self.sim,
+            dirty_limit_bytes=self.hw.dirty_limit_bytes,
+            background_bytes=self.hw.dirty_background_bytes,
+        )
+        self.server = None
+        self.nfs: Optional[NfsClient] = None
+        self.ext2: Optional[Ext2Fs] = None
+
+        if target == "netapp":
+            self.server = NetappFiler(
+                self.sim, self.switch, self.net, filer_config or FilerConfig()
+            )
+        elif target == "linux":
+            self.server = LinuxNfsServer(
+                self.sim, self.switch, self.net, linux_config or LinuxServerConfig()
+            )
+        elif target == "linux-100":
+            self.server = LinuxNfsServer(
+                self.sim,
+                self.switch,
+                NetConfig.fast_ethernet(),
+                linux_config or LinuxServerConfig(),
+            )
+        else:  # local
+            self.ext2 = Ext2Fs(
+                self.client_host, self.pagecache, local_config or LocalFsConfig()
+            )
+
+        if self.server is not None:
+            self.nfs = NfsClient(
+                self.client_host,
+                self.pagecache,
+                server=self.server.name,
+                mount=self.mount,
+                behavior=self.client_config,
+            )
+
+        self.syscalls = SyscallLayer(
+            self.client_host, instrument=self.client_config.instrument_latency
+        )
+        self.profiler: Optional[SamplingProfiler] = None
+        if profile:
+            self.profiler = SamplingProfiler(
+                self.sim, self.client_host.cpus, period=us(100)
+            )
+            self.profiler.start()
+
+    # -- convenience ---------------------------------------------------------
+
+    def open_file(self, name: str = "testfile"):
+        """Generator: create a fresh file on the active target."""
+        if self.nfs is not None:
+            return (yield from self.nfs.open_new(name))
+        return (yield from self.ext2.open_new(name))
+
+    def run_sequential_write(
+        self,
+        file_bytes: int,
+        chunk_bytes: int = 8192,
+        do_fsync: bool = True,
+        time_limit_ns: Optional[int] = None,
+    ) -> BenchmarkResult:
+        """Build, run and harvest one full benchmark run (blocking)."""
+        bench = SequentialWriteBenchmark(
+            self.syscalls, chunk_bytes=chunk_bytes, do_fsync=do_fsync
+        )
+
+        def body():
+            file = yield from self.open_file()
+            result = yield from bench.run(file, file_bytes)
+            return result
+
+        # daemon=True so failures surface as task.error below (re-raised
+        # with their original type) instead of TaskFailed mid-run.
+        task = self.sim.spawn(body(), name="benchmark", daemon=True)
+        self.sim.run_until(lambda: task.done, limit=time_limit_ns)
+        if not task.done:
+            raise ConfigError("benchmark did not finish; simulation wedged?")
+        if task.error is not None:
+            raise task.error
+        if self.profiler is not None:
+            self.profiler.stop()
+        return task.result

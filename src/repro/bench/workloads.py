@@ -1,0 +1,161 @@
+"""Workload drivers beyond the plain sequential write.
+
+The paper's benchmark is deliberately simple (§2.3); these drivers
+extend it to the scenarios the paper motivates or speculates about:
+multiple concurrent writers (the §3.5 SMP discussion), synchronous
+transaction logs (§3.6's "applications require data permanence"), and
+random-offset writers (the future-work "database ... corner cases").
+
+All drivers are generators runnable on a :class:`TestBed` via
+:func:`run_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..sim import RngStreams
+from ..units import PAGE_SIZE, throughput
+from .latency import LatencyTrace
+from .runner import TestBed
+
+__all__ = [
+    "WorkloadResult",
+    "run_workload",
+    "sequential_writers",
+    "transaction_log",
+    "random_writer",
+    "sweep_file_sizes",
+]
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate outcome of a multi-task workload."""
+
+    bytes_written: int
+    elapsed_ns: int
+    traces: List[LatencyTrace] = field(default_factory=list)
+
+    @property
+    def total_throughput(self) -> float:
+        return throughput(self.bytes_written, self.elapsed_ns)
+
+    @property
+    def total_mbps(self) -> float:
+        return self.total_throughput / 1e6
+
+
+def run_workload(bed: TestBed, tasks, time_limit_ns: Optional[int] = None):
+    """Run workload generator(s) to completion on a test bed.
+
+    ``tasks`` is a list of (name, generator) pairs; returns when all
+    have finished, re-raising the first failure.
+    """
+    spawned = [bed.sim.spawn(gen, name=name, daemon=True) for name, gen in tasks]
+    bed.sim.run_until(lambda: all(t.done for t in spawned), limit=time_limit_ns)
+    for task in spawned:
+        if not task.done:
+            raise ConfigError(f"workload task {task.name!r} did not finish")
+        if task.error is not None:
+            raise task.error
+    return spawned
+
+
+def sequential_writers(bed: TestBed, nwriters: int, bytes_each: int,
+                       chunk_bytes: int = 8192,
+                       close: bool = True) -> WorkloadResult:
+    """N processes each streaming into its own fresh file.
+
+    The §3.5 concern writ large: every writer contends with rpciod and
+    the flush daemon for the kernel lock.  With ``close=False`` the
+    workload measures the memory-write phase only (dirty data is left
+    cached), isolating client-side scalability from wire drain time.
+    """
+    if nwriters < 1:
+        raise ConfigError("need at least one writer")
+    traces = [LatencyTrace() for _ in range(nwriters)]
+    start = bed.sim.now
+
+    def writer(index: int):
+        file = yield from bed.open_file(f"writer{index}")
+        remaining = bytes_each
+        while remaining:
+            chunk = min(chunk_bytes, remaining)
+            call_start = bed.sim.now
+            yield from bed.syscalls.write(file, chunk)
+            traces[index].record(call_start, bed.sim.now)
+            remaining -= chunk
+        if close:
+            yield from bed.syscalls.close(file)
+
+    run_workload(bed, [(f"writer{i}", writer(i)) for i in range(nwriters)])
+    return WorkloadResult(
+        bytes_written=nwriters * bytes_each,
+        elapsed_ns=bed.sim.now - start,
+        traces=traces,
+    )
+
+
+def transaction_log(bed: TestBed, transactions: int,
+                    record_bytes: int = PAGE_SIZE) -> WorkloadResult:
+    """Append + fsync per transaction (commit-latency bound)."""
+    trace = LatencyTrace()
+    start = bed.sim.now
+
+    def logger():
+        file = yield from bed.open_file("txlog")
+        for _ in range(transactions):
+            yield from bed.syscalls.write(file, record_bytes)
+            commit_start = bed.sim.now
+            yield from bed.syscalls.fsync(file)
+            trace.record(commit_start, bed.sim.now)
+        yield from bed.syscalls.close(file)
+
+    run_workload(bed, [("txlog", logger())])
+    return WorkloadResult(
+        bytes_written=transactions * record_bytes,
+        elapsed_ns=bed.sim.now - start,
+        traces=[trace],
+    )
+
+
+def random_writer(bed: TestBed, file_bytes: int, writes: int,
+                  chunk_bytes: int = 8192, seed: int = 1) -> WorkloadResult:
+    """Page-aligned random-offset writes within a fixed extent."""
+    rng = RngStreams(seed).stream("random-writer")
+    trace = LatencyTrace()
+    start = bed.sim.now
+    npages = max(1, file_bytes // PAGE_SIZE)
+
+    def writer():
+        file = yield from bed.open_file("random")
+        for _ in range(writes):
+            page = rng.randrange(npages)
+            file.pos = page * PAGE_SIZE
+            call_start = bed.sim.now
+            yield from bed.syscalls.write(file, chunk_bytes)
+            trace.record(call_start, bed.sim.now)
+        yield from bed.syscalls.close(file)
+
+    run_workload(bed, [("random", writer())])
+    return WorkloadResult(
+        bytes_written=writes * chunk_bytes,
+        elapsed_ns=bed.sim.now - start,
+        traces=[trace],
+    )
+
+
+def sweep_file_sizes(make_bed, sizes_bytes, chunk_bytes: int = 8192):
+    """Fresh test bed per size; returns [(size, BenchmarkResult)].
+
+    ``make_bed`` is a zero-argument factory (each run needs a pristine
+    simulated world).
+    """
+    out = []
+    for size in sizes_bytes:
+        bed = make_bed()
+        out.append((size, bed.run_sequential_write(size, chunk_bytes=chunk_bytes)))
+    return out

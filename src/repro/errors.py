@@ -1,0 +1,37 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an inconsistency."""
+
+
+class TaskFailed(SimulationError):
+    """A simulated task raised an exception that nobody handled.
+
+    The original exception is available as ``__cause__``.
+    """
+
+    def __init__(self, task_name: str, message: str = "") -> None:
+        detail = f"task {task_name!r} failed"
+        if message:
+            detail = f"{detail}: {message}"
+        super().__init__(detail)
+        self.task_name = task_name
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ProtocolError(ReproError):
+    """An RPC or NFS protocol invariant was violated."""
+
+
+class ResourceError(ReproError):
+    """A hardware resource model was used inconsistently."""

@@ -1,0 +1,14 @@
+"""Experiment reproductions of the paper's tables and figures."""
+
+from .base import Experiment, ExperimentResult, format_table, scaled_configs
+from .registry import EXPERIMENTS, experiment_ids, get_experiment
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "get_experiment",
+    "scaled_configs",
+    "format_table",
+]

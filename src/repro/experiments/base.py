@@ -1,0 +1,160 @@
+"""Experiment framework.
+
+Each experiment reproduces one table or figure: it builds the test beds,
+runs the workload, renders a text report (curves, histograms, traces),
+and grades itself against *shape criteria* — the qualitative facts the
+paper's artefact shows.  Absolute numbers are recorded for the report
+but graded loosely; shapes are graded strictly (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis import Comparison
+from ..config import ClientHwConfig, FilerConfig, scaled
+from ..errors import ConfigError
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "scaled_configs",
+    "format_table",
+    "export_result",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    experiment_id: str
+    title: str
+    comparison: Comparison
+    #: Raw numbers for downstream analysis/plotting.
+    data: Dict[str, Any] = field(default_factory=dict)
+    #: Human-readable report (tables/histograms/trace excerpts).
+    text: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.comparison.all_passed
+
+    def render(self) -> str:
+        parts = [f"### {self.experiment_id}: {self.title}"]
+        if self.text:
+            parts.append(self.text)
+        parts.append(self.comparison.render())
+        return "\n\n".join(parts)
+
+
+class Experiment:
+    """Base class: subclasses set the metadata and implement _run."""
+
+    id: str = ""
+    title: str = ""
+    paper_ref: str = ""
+
+    def run(self, scale: float = 4.0, quick: bool = False) -> ExperimentResult:
+        """Execute the experiment.
+
+        ``scale`` shrinks client memory (and the filer's NVRAM) for the
+        file-size sweeps per DESIGN.md §5; experiments that run at the
+        paper's exact sizes ignore it.  ``quick`` reduces sizes/points
+        for CI-speed runs while preserving every shape criterion.
+        """
+        if scale <= 0:
+            raise ConfigError("scale must be positive")
+        comparison = Comparison(f"{self.id}: {self.title}")
+        data: Dict[str, Any] = {}
+        text = self._run(comparison, data, scale=scale, quick=quick)
+        return ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            comparison=comparison,
+            data=data,
+            text=text,
+        )
+
+    def _run(self, comparison: Comparison, data: Dict[str, Any], scale: float, quick: bool) -> str:
+        raise NotImplementedError  # pragma: no cover
+
+
+def scaled_configs(scale: float):
+    """(ClientHwConfig, FilerConfig) shrunk by ``scale``."""
+    hw = scaled(ClientHwConfig(), scale)
+    filer = FilerConfig(nvram_bytes=max(2_000_000, int(FilerConfig().nvram_bytes / scale)))
+    return hw, filer
+
+
+def export_result(result: ExperimentResult, directory: str) -> List[str]:
+    """Dump an experiment's data for external plotting.
+
+    Writes ``<id>_report.txt`` (the rendered report), ``<id>_data.json``
+    (everything serialisable in ``result.data``), and — when the data
+    contains the standard shapes — CSV files: latency series
+    (Figs. 2-4) and throughput curves (Figs. 1/7).  Returns the paths.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+
+    def path_for(suffix: str) -> str:
+        p = os.path.join(directory, f"{result.experiment_id}_{suffix}")
+        paths.append(p)
+        return p
+
+    with open(path_for("report.txt"), "w") as f:
+        f.write(result.render() + "\n")
+    with open(path_for("data.json"), "w") as f:
+        json.dump(result.data, f, indent=2, default=str)
+
+    series = result.data.get("series")
+    if isinstance(series, list) and series and isinstance(series[0], tuple):
+        with open(path_for("latency.csv"), "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["call", "latency_us"])
+            writer.writerows(series)
+
+    sizes = result.data.get("sizes_mb")
+    if isinstance(sizes, list):
+        curve_names = [
+            k for k, v in result.data.items()
+            if k != "sizes_mb" and isinstance(v, list) and len(v) == len(sizes)
+        ]
+        if curve_names:
+            with open(path_for("curves.csv"), "w", newline="") as f:
+                writer = csv.writer(f)
+                writer.writerow(["size_mb"] + curve_names)
+                for i, size in enumerate(sizes):
+                    writer.writerow(
+                        [size] + [result.data[name][i] for name in curve_names]
+                    )
+    return paths
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], precision: int = 1
+) -> str:
+    """Fixed-width text table."""
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    grid = [list(map(fmt, row)) for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in grid)) if grid else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in grid:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

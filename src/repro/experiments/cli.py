@@ -1,0 +1,104 @@
+"""Command-line entry point: ``repro-nfs`` / ``python -m repro``.
+
+Examples::
+
+    repro-nfs list
+    repro-nfs run fig2
+    repro-nfs run all --quick
+    repro-nfs run fig1 fig7 --scale 8
+    repro-nfs run fig1 --full        # paper-size sweep (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .registry import experiment_ids, get_experiment
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-nfs",
+        description=(
+            "Reproduce 'Linux NFS Client Write Performance' "
+            "(Lever & Honeyman, USENIX 2002) in simulation."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible tables/figures")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "ids",
+        nargs="+",
+        help=f"experiment ids ({', '.join(experiment_ids())}) or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=4.0,
+        help="memory scale factor for the file-size sweeps (default 4)",
+    )
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="run sweeps at the paper's full 256 MB / 450 MB scale (slow)",
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes for a fast smoke run",
+    )
+    run.add_argument(
+        "--dump-dir",
+        default=None,
+        help="export each experiment's report/data/CSVs into this directory",
+    )
+    return parser
+
+
+def run_experiments(
+    ids: List[str],
+    scale: float,
+    quick: bool,
+    out=sys.stdout,
+    dump_dir: Optional[str] = None,
+) -> bool:
+    all_passed = True
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        started = time.time()
+        result = experiment.run(scale=scale, quick=quick)
+        elapsed = time.time() - started
+        out.write(result.render())
+        out.write(f"\n({elapsed:.1f} s wall)\n\n")
+        if dump_dir:
+            from .base import export_result
+
+            for path in export_result(result, dump_dir):
+                out.write(f"  wrote {path}\n")
+        all_passed = all_passed and result.passed
+    return all_passed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            experiment = get_experiment(experiment_id)
+            print(f"{experiment_id:6s} {experiment.title}  [{experiment.paper_ref}]")
+        return 0
+    ids = experiment_ids() if "all" in args.ids else args.ids
+    scale = 1.0 if args.full else args.scale
+    ok = run_experiments(
+        ids, scale=scale, quick=args.quick, dump_dir=args.dump_dir
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

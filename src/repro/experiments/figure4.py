@@ -1,0 +1,111 @@
+"""Figure 4: hash-table index — latency flat; a mid-run low-jitter gap.
+
+Paper: 100 MB on the filer with the hash table.  Mean 136.9 µs — the
+same as the stock client's healthy (spike-free) mean — and sustained
+memory throughput ~4x Figure 1's.  A few hundred calls in the middle
+show much lower jitter: the filer stalls during a WAFL checkpoint,
+briefly behaving "like an infinitely slow server" and removing SMP lock
+contention (§3.5).
+"""
+
+from __future__ import annotations
+
+from ..analysis import Comparison, windowed_jitter
+from ..bench import TestBed
+from ..units import MB, NS_PER_MS, to_us
+from .base import Experiment
+
+__all__ = ["Figure4"]
+
+FILE_MB = 100
+WINDOW = 400
+
+
+class Figure4(Experiment):
+    id = "fig4"
+    title = "Hash-table index: flat latency + checkpoint gap"
+    paper_ref = "Figure 4, §3.4"
+
+    def _run(self, comparison: Comparison, data, scale: float, quick: bool) -> str:
+        file_mb = 30 if quick else FILE_MB
+        filer_config = None
+        if quick:
+            # Shrink NVRAM so the shorter run still crosses a checkpoint.
+            from ..config import FilerConfig
+
+            filer_config = FilerConfig(nvram_bytes=8 * MB)
+        bed = TestBed(target="netapp", client="hashtable", filer_config=filer_config)
+        result = bed.run_sequential_write(file_mb * MB)
+        trace = result.trace
+
+        slope = trace.growth_slope_ns_per_call(skip_first=1)
+        spikes = trace.count_above(5 * NS_PER_MS)
+        mean_us = to_us(trace.mean_ns(skip_first=1))
+
+        # Reference runs: the stock client's healthy mean and throughput.
+        ref = TestBed(target="netapp", client="stock")
+        ref_result = ref.run_sequential_write(file_mb * MB)
+        ref_healthy_us = to_us(ref_result.trace.mean_ns(exclude_above_ns=NS_PER_MS))
+        speedup = result.write_mbps / ref_result.write_mbps
+
+        # The low-jitter gap: windows of unusually calm latency that
+        # overlap a filer checkpoint pause.
+        windows = windowed_jitter(trace.latencies_ns, WINDOW)
+        jitters = [j for _s, j in windows]
+        median_jitter = sorted(jitters)[len(jitters) // 2] if jitters else 0.0
+        calm = [(s, j) for s, j in windows if j < 0.5 * median_jitter]
+        cp_windows = bed.server.checkpoint_windows
+        starts = trace.starts_ns
+
+        def window_overlaps_cp(window_start_call: int) -> bool:
+            lo = starts[window_start_call]
+            hi_idx = min(window_start_call + WINDOW, len(starts) - 1)
+            hi = starts[hi_idx]
+            return any(not (end < lo or begin > hi) for begin, end in cp_windows)
+
+        gap_matches_cp = any(window_overlaps_cp(s) for s, _j in calm)
+
+        data.update(
+            mean_us=mean_us,
+            slope=slope,
+            speedup_vs_stock=speedup,
+            ref_healthy_us=ref_healthy_us,
+            checkpoints=bed.server.checkpoints,
+            calm_windows=calm,
+            median_jitter_us=median_jitter / 1000,
+        )
+
+        comparison.add(
+            "latency stays flat for the whole run",
+            abs(slope) < 2.0 and spikes == 0,
+            paper="flat at low latency for 100 MB",
+            measured=f"slope {slope:.2f} ns/call, {spikes} spikes >5 ms",
+        )
+        comparison.add(
+            "mean matches the stock client's spike-free mean",
+            0.5 <= mean_us / ref_healthy_us <= 1.5,
+            paper="136.9 vs 139.6 us",
+            measured=f"{mean_us:.1f} vs {ref_healthy_us:.1f} us",
+        )
+        comparison.add(
+            "sustained memory throughput several times the stock client's",
+            speedup >= 2.5,
+            paper="~115 vs 28 MBps (4.1x)",
+            measured=f"{result.write_mbps:.0f} vs {ref_result.write_mbps:.0f} "
+            f"MBps ({speedup:.1f}x)",
+        )
+        comparison.add(
+            "mid-run low-jitter gap coincides with a filer checkpoint",
+            bool(calm) and gap_matches_cp,
+            paper="gap of reduced jitter during WAFL checkpoint",
+            measured=f"{len(calm)} calm window(s), "
+            f"{bed.server.checkpoints} checkpoint(s), overlap={gap_matches_cp}",
+        )
+
+        return (
+            f"{file_mb} MB run: mean {mean_us:.1f} us, write throughput "
+            f"{result.write_mbps:.0f} MBps ({speedup:.1f}x the stock client).\n"
+            f"median window jitter {median_jitter / 1000:.1f} us; calm windows "
+            f"at calls {[s for s, _ in calm]} with {bed.server.checkpoints} "
+            f"checkpoint pause(s)."
+        )

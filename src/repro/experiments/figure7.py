@@ -1,0 +1,98 @@
+"""Figure 7: Local vs NFS write throughput with the enhanced client.
+
+Paper: the 25-450 MB sweep re-run with all three fixes.  NFS memory
+writes now rival local ext2 while memory lasts; past client RAM the
+curves drop to each server's network throughput — except that the filer
+"sustains high data throughput longer", its NVRAM acting as an
+extension of the client's page cache (§3.6).
+"""
+
+from __future__ import annotations
+
+from ..analysis import Comparison
+from ..units import MB
+from .base import Experiment, format_table, scaled_configs
+from .figure1 import run_sweep
+
+__all__ = ["Figure7"]
+
+
+class Figure7(Experiment):
+    id = "fig7"
+    title = "Local vs NFS write throughput (enhanced client)"
+    paper_ref = "Figure 7, §3.6"
+
+    def _run(self, comparison: Comparison, data, scale: float, quick: bool) -> str:
+        curves = run_sweep("enhanced", scale, quick)
+        data.update(curves)
+        hw, filer_cfg = scaled_configs(scale)
+        dirty_limit_mb = hw.dirty_limit_bytes / 1e6
+        nvram_mb = filer_cfg.nvram_bytes / 1e6
+
+        sizes = curves["sizes_mb"]
+        local, netapp, linux = curves["local"], curves["netapp"], curves["linux"]
+        small = [i for i, s in enumerate(sizes) if s <= 0.8 * dirty_limit_mb]
+        beyond = [i for i, s in enumerate(sizes) if s >= 1.6 * dirty_limit_mb]
+
+        if small:
+            i = small[-1]
+            comparison.add(
+                "NFS memory writes approach local speed while memory lasts",
+                netapp[i] >= 0.5 * local[i] and linux[i] >= 0.5 * local[i],
+                paper="~140-147 vs ~190 MBps",
+                measured=f"local {local[i]:.0f} / netapp {netapp[i]:.0f} / "
+                f"linux {linux[i]:.0f} MBps at {sizes[i]} MB",
+            )
+            comparison.add(
+                "max memory write throughput nearly equal on both servers",
+                abs(netapp[i] - linux[i]) <= 0.25 * max(netapp[i], linux[i]),
+                paper="within ~7 MBps of each other",
+                measured=f"{netapp[i]:.0f} vs {linux[i]:.0f} MBps",
+            )
+
+        # The NVRAM sustain: sizes clearly past the client's dirty limit
+        # but within reach of client memory + filer NVRAM.
+        sustain = [
+            i
+            for i, s in enumerate(sizes)
+            if dirty_limit_mb * 1.05 < s <= (dirty_limit_mb + nvram_mb) * 1.3
+        ]
+        if sustain:
+            best = max(sustain, key=lambda i: netapp[i] / max(linux[i], 0.1))
+            comparison.add(
+                "filer sustains high throughput past client memory (NVRAM)",
+                netapp[best] >= 2 * linux[best],
+                paper="filer keeps near-memory speed; the Linux server "
+                "trails off immediately",
+                measured=f"at {sizes[best]} MB: netapp {netapp[best]:.0f} vs "
+                f"linux {linux[best]:.0f} MBps (local {local[best]:.0f})",
+            )
+        if beyond:
+            tail_netapp = sum(netapp[i] for i in beyond) / len(beyond)
+            tail_linux = sum(linux[i] for i in beyond) / len(beyond)
+            tail_local = sum(local[i] for i in beyond) / len(beyond)
+            comparison.add(
+                "far beyond memory, the filer's throughput wins",
+                tail_netapp > tail_linux and tail_netapp > tail_local,
+                paper="'the filer sustains greater network write "
+                "throughput than the Linux NFS server can' (§3.6)",
+                measured=f"netapp {tail_netapp:.0f} vs linux {tail_linux:.0f} "
+                f"vs local {tail_local:.0f} MBps",
+            )
+        # Improvement over Figure 1 is implied by fig4's speedup check;
+        # here verify NFS peaks are no longer network-bound.
+        comparison.add(
+            "NFS throughput no longer tracks network throughput",
+            max(netapp) >= 2.5 * 38 and max(linux) >= 2.5 * 26,
+            paper="write performance no longer limited to network/server speeds",
+            measured=f"netapp peak {max(netapp):.0f} MBps (net 38), "
+            f"linux peak {max(linux):.0f} MBps (net 26)",
+        )
+
+        rows = list(zip(sizes, local, netapp, linux))
+        table = format_table(["size MB", "local ext2", "netapp", "linux nfsd"], rows)
+        return (
+            f"Client memory scaled 1/{scale:g} (dirty limit "
+            f"{dirty_limit_mb:.0f} MB, filer NVRAM {nvram_mb:.0f} MB).\n"
+            + table
+        )

@@ -1,0 +1,45 @@
+"""Registry of all reproduced artefacts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..errors import ConfigError
+from .base import Experiment
+from .figure1 import Figure1
+from .figure2 import Figure2
+from .figure3 import Figure3
+from .figure4 import Figure4
+from .figure5 import Figure5
+from .figure6 import Figure6
+from .figure7 import Figure7
+from .table1 import Table1
+
+__all__ = ["EXPERIMENTS", "get_experiment", "experiment_ids"]
+
+_CLASSES: List[Type[Experiment]] = [
+    Figure1,
+    Figure2,
+    Figure3,
+    Figure4,
+    Figure5,
+    Figure6,
+    Table1,
+    Figure7,
+]
+
+EXPERIMENTS: Dict[str, Type[Experiment]] = {cls.id: cls for cls in _CLASSES}
+
+
+def experiment_ids() -> List[str]:
+    return [cls.id for cls in _CLASSES]
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[experiment_id]()
+    except KeyError:
+        known = ", ".join(experiment_ids())
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r} (known: {known})"
+        ) from None

@@ -1,0 +1,102 @@
+"""Table 1: client memory write throughput, before/after the lock fix.
+
+Paper (5 MB file)::
+
+                     Normal    No lock
+    NetApp filer    115 MBps   140 MBps
+    Linux server    138 MBps   147 MBps
+
+"Even though the Network Appliance filer is faster than the Linux NFS
+server is, the client's lack of scalability slows memory write
+throughput to it more."
+"""
+
+from __future__ import annotations
+
+from ..analysis import Comparison, ratio
+from ..bench import TestBed
+from ..units import MB
+from .base import Experiment, format_table
+
+__all__ = ["Table1"]
+
+FILE_MB = 5
+
+PAPER = {
+    ("netapp", "hashtable"): 115.0,
+    ("netapp", "nolock"): 140.0,
+    ("linux", "hashtable"): 138.0,
+    ("linux", "nolock"): 147.0,
+}
+
+
+class Table1(Experiment):
+    id = "tab1"
+    title = "Memory write throughput, Normal vs No-lock"
+    paper_ref = "Table 1, §3.5"
+
+    def _run(self, comparison: Comparison, data, scale: float, quick: bool) -> str:
+        measured = {}
+        for target in ("netapp", "linux"):
+            for variant in ("hashtable", "nolock"):
+                bed = TestBed(target=target, client=variant)
+                result = bed.run_sequential_write(FILE_MB * MB)
+                measured[(target, variant)] = result.write_mbps
+        data["measured"] = {f"{t}/{v}": m for (t, v), m in measured.items()}
+
+        comparison.add(
+            "Normal: filer memory writes slower than Linux server's",
+            measured[("netapp", "hashtable")] < measured[("linux", "hashtable")],
+            paper="115 vs 138 MBps",
+            measured=f"{measured[('netapp', 'hashtable')]:.0f} vs "
+            f"{measured[('linux', 'hashtable')]:.0f} MBps",
+        )
+        for target in ("netapp", "linux"):
+            comparison.add(
+                f"lock fix improves memory writes ({target})",
+                measured[(target, "nolock")] > measured[(target, "hashtable")],
+                paper=f"{PAPER[(target, 'hashtable')]:.0f} -> "
+                f"{PAPER[(target, 'nolock')]:.0f} MBps",
+                measured=f"{measured[(target, 'hashtable')]:.0f} -> "
+                f"{measured[(target, 'nolock')]:.0f} MBps",
+            )
+        filer_gain = ratio(measured[("netapp", "nolock")], measured[("netapp", "hashtable")])
+        linux_gain = ratio(measured[("linux", "nolock")], measured[("linux", "hashtable")])
+        comparison.add(
+            "the filer gains more from the fix than the Linux server",
+            filer_gain > linux_gain,
+            paper="+22% vs +6.5%",
+            measured=f"+{100 * (filer_gain - 1):.0f}% vs +{100 * (linux_gain - 1):.0f}%",
+        )
+        gap_before = ratio(measured[("netapp", "hashtable")], measured[("linux", "hashtable")])
+        gap_after = ratio(measured[("netapp", "nolock")], measured[("linux", "nolock")])
+        comparison.add(
+            "servers end up 'almost in the same ballpark'",
+            gap_after > gap_before and gap_after > 0.9,
+            paper="ratio 0.83 -> 0.95",
+            measured=f"ratio {gap_before:.2f} -> {gap_after:.2f}",
+        )
+        for key, paper_value in PAPER.items():
+            got = measured[key]
+            comparison.add(
+                f"absolute throughput within 35% of paper ({key[0]}/{key[1]})",
+                0.65 * paper_value <= got <= 1.35 * paper_value,
+                paper=f"{paper_value:.0f} MBps",
+                measured=f"{got:.0f} MBps",
+                note="absolute values graded loosely; shapes strictly",
+            )
+
+        table = format_table(
+            ["server", "Normal", "No lock", "paper Normal", "paper No lock"],
+            [
+                (
+                    target,
+                    measured[(target, "hashtable")],
+                    measured[(target, "nolock")],
+                    PAPER[(target, "hashtable")],
+                    PAPER[(target, "nolock")],
+                )
+                for target in ("netapp", "linux")
+            ],
+        )
+        return f"{FILE_MB} MB file, memory write throughput (MBps):\n{table}"

@@ -1,0 +1,7 @@
+"""Hardware resource models: RAM pools, disks, NVRAM."""
+
+from .disk import Disk, RaidGroup
+from .memory import MemoryPool
+from .nvram import Nvram
+
+__all__ = ["Disk", "RaidGroup", "MemoryPool", "Nvram"]

@@ -1,0 +1,92 @@
+"""Disk and RAID-group models.
+
+A :class:`Disk` serialises operations (one platter, one head): each
+write costs an optional seek plus a bandwidth-limited transfer.  This is
+deliberately simple — the paper's benchmark is sequential precisely to
+"minimize disk latency (i.e., seek time) on the server" (§2.3) — but
+seeks matter for COMMIT-triggered metadata and for non-sequential
+workload examples.
+
+A :class:`RaidGroup` aggregates spindles into one logical device with a
+higher transfer rate (RAID 4 with full-stripe writes, as WAFL arranges).
+"""
+
+from __future__ import annotations
+
+from ..errors import ResourceError
+from ..sim import Lock, Simulator
+from ..units import transfer_time
+
+__all__ = ["Disk", "RaidGroup"]
+
+
+class Disk:
+    """One spindle with FIFO-serialised operations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transfer_bytes_per_sec: float,
+        seek_ns: int = 0,
+        name: str = "disk",
+    ):
+        if transfer_bytes_per_sec <= 0:
+            raise ResourceError(f"{name}: transfer rate must be positive")
+        if seek_ns < 0:
+            raise ResourceError(f"{name}: negative seek time")
+        self._sim = sim
+        self.name = name
+        self.transfer_bytes_per_sec = transfer_bytes_per_sec
+        self.seek_ns = seek_ns
+        self._lock = Lock(sim, f"{name}-queue")
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.ops = 0
+        self.busy_ns = 0
+
+    def write(self, nbytes: int, sequential: bool = True):
+        """Generator: write ``nbytes``; seeks first unless ``sequential``."""
+        yield from self._operate(nbytes, sequential)
+        self.bytes_written += nbytes
+
+    def read(self, nbytes: int, sequential: bool = True):
+        """Generator: read ``nbytes``; seeks first unless ``sequential``."""
+        yield from self._operate(nbytes, sequential)
+        self.bytes_read += nbytes
+
+    def _operate(self, nbytes: int, sequential: bool):
+        if nbytes < 0:
+            raise ResourceError(f"{self.name}: negative transfer {nbytes}")
+        yield self._lock.acquire()
+        try:
+            duration = transfer_time(nbytes, self.transfer_bytes_per_sec)
+            if not sequential:
+                duration += self.seek_ns
+            self.ops += 1
+            self.busy_ns += duration
+            yield self._sim.timeout(duration)
+        finally:
+            self._lock.release()
+
+
+class RaidGroup(Disk):
+    """RAID-4 style group: N spindles, one parity, striped transfers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ndisks: int,
+        per_disk_bytes_per_sec: float,
+        seek_ns: int = 0,
+        name: str = "raid",
+    ):
+        if ndisks < 2:
+            raise ResourceError(f"{name}: RAID group needs at least 2 disks")
+        data_disks = ndisks - 1  # one parity spindle
+        super().__init__(
+            sim,
+            per_disk_bytes_per_sec * data_disks,
+            seek_ns=seek_ns,
+            name=name,
+        )
+        self.ndisks = ndisks

@@ -1,0 +1,82 @@
+"""Byte-granular memory pool with blocking allocation.
+
+Models a finite RAM capacity shared by cached pages.  Allocation blocks
+the calling task until enough bytes are freed — the mechanism behind
+"the VFS layer blocks the writer" when a client runs out of memory for
+write requests (§3.3).
+"""
+
+from __future__ import annotations
+
+from ..errors import ResourceError
+from ..sim import Simulator, WaitQueue
+
+__all__ = ["MemoryPool"]
+
+
+class MemoryPool:
+    """A capacity-limited pool of bytes with FIFO blocking allocation."""
+
+    def __init__(self, sim: Simulator, capacity_bytes: int, name: str = "ram"):
+        if capacity_bytes <= 0:
+            raise ResourceError(f"{name}: capacity must be positive")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity_bytes
+        self.used = 0
+        self.peak_used = 0
+        self.total_allocated = 0
+        self.alloc_blocks = 0
+        self._waitq = WaitQueue(sim, f"{name}-waitq")
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    def try_alloc(self, nbytes: int) -> bool:
+        """Allocate without blocking; False when short on space."""
+        self._check(nbytes)
+        if nbytes > self.available:
+            return False
+        self._take(nbytes)
+        return True
+
+    def alloc(self, nbytes: int):
+        """Generator: allocate ``nbytes``, sleeping until space frees up."""
+        self._check(nbytes)
+        if nbytes > self.capacity:
+            raise ResourceError(
+                f"{self.name}: request {nbytes} exceeds capacity {self.capacity}"
+            )
+        blocked = False
+        while nbytes > self.available:
+            blocked = True
+            yield from self._waitq.sleep()
+        if blocked:
+            self.alloc_blocks += 1
+        self._take(nbytes)
+
+    def free(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the pool, waking blocked allocators."""
+        self._check(nbytes)
+        if nbytes > self.used:
+            raise ResourceError(
+                f"{self.name}: freeing {nbytes} but only {self.used} in use"
+            )
+        self.used -= nbytes
+        self._waitq.wake_all()
+
+    @property
+    def waiters(self) -> int:
+        """Tasks currently blocked in :meth:`alloc`."""
+        return self._waitq.sleeping
+
+    def _take(self, nbytes: int) -> None:
+        self.used += nbytes
+        self.total_allocated += nbytes
+        if self.used > self.peak_used:
+            self.peak_used = self.used
+
+    def _check(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ResourceError(f"{self.name}: negative byte count {nbytes}")

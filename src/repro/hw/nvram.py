@@ -1,0 +1,58 @@
+"""Battery-backed write cache (the filer's NVRAM).
+
+The F85 journals incoming writes to NVRAM and acknowledges them as
+stable immediately (FILE_SYNC); the paper conjectures that this NVRAM
+"acts as an extension of the client's page cache" (§3.6).  The model is
+a byte pool with blocking reservation — the WAFL checkpoint machinery in
+:mod:`repro.server.netapp` decides when halves drain to disk.
+"""
+
+from __future__ import annotations
+
+from ..errors import ResourceError
+from ..sim import Simulator, WaitQueue
+
+__all__ = ["Nvram"]
+
+
+class Nvram:
+    """Byte-pool with blocking reservation and explicit release."""
+
+    def __init__(self, sim: Simulator, capacity_bytes: int, name: str = "nvram"):
+        if capacity_bytes <= 0:
+            raise ResourceError(f"{name}: capacity must be positive")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity_bytes
+        self.used = 0
+        self.peak_used = 0
+        self.total_in = 0
+        self._waitq = WaitQueue(sim, f"{name}-waitq")
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    def reserve(self, nbytes: int):
+        """Generator: claim ``nbytes`` of log space, blocking while full."""
+        if nbytes < 0:
+            raise ResourceError(f"{self.name}: negative reservation")
+        if nbytes > self.capacity:
+            raise ResourceError(
+                f"{self.name}: reservation {nbytes} exceeds capacity"
+            )
+        while nbytes > self.available:
+            yield from self._waitq.sleep()
+        self.used += nbytes
+        self.total_in += nbytes
+        if self.used > self.peak_used:
+            self.peak_used = self.used
+
+    def release(self, nbytes: int) -> None:
+        """Return drained log space, waking blocked writers."""
+        if nbytes < 0 or nbytes > self.used:
+            raise ResourceError(
+                f"{self.name}: bad release {nbytes} (used={self.used})"
+            )
+        self.used -= nbytes
+        self._waitq.wake_all()

@@ -1,0 +1,25 @@
+"""Client kernel substrate: BKL, page cache, VFS, syscall layer."""
+
+from .bkl import (
+    BigKernelLock,
+    LockPolicy,
+    NoLockPolicy,
+    SendUnlockedPolicy,
+    StockLockPolicy,
+)
+from .pagecache import PageCache
+from .syscalls import SyscallLayer
+from .vfs import VfsFile, generic_file_write, page_segments
+
+__all__ = [
+    "BigKernelLock",
+    "LockPolicy",
+    "StockLockPolicy",
+    "SendUnlockedPolicy",
+    "NoLockPolicy",
+    "PageCache",
+    "SyscallLayer",
+    "VfsFile",
+    "generic_file_write",
+    "page_segments",
+]

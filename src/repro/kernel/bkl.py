@@ -1,0 +1,146 @@
+"""The Big Kernel Lock and the send-path locking policies.
+
+Linux 2.4 serialised most of the NFS client and RPC layer under the
+global kernel lock.  The paper's SMP fix observes that the network
+layer stopped needing the BKL in 2.3, so it is safe to *release* the
+lock around ``sock_sendmsg()`` and reacquire it afterwards (§3.5).
+
+:class:`StockLockPolicy` models the unpatched client (wire sends happen
+under the BKL); :class:`SendUnlockedPolicy` models the patch.  Servers
+and other lock-free contexts use :class:`NoLockPolicy`.
+"""
+
+from __future__ import annotations
+
+from ..sim import MonitoredLock, Simulator
+
+__all__ = [
+    "BigKernelLock",
+    "LockPolicy",
+    "StockLockPolicy",
+    "SendUnlockedPolicy",
+    "NoLockPolicy",
+]
+
+
+class BigKernelLock(MonitoredLock):
+    """Reentrant kernel lock with full break/reacquire, like ``lock_kernel``."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, name="bkl")
+
+    def held_by_current(self) -> bool:
+        return self.owner is self._sim.current_task
+
+    def break_all(self) -> int:
+        """Drop the lock completely if the current task owns it.
+
+        Returns the hold depth to restore with :meth:`reacquire`
+        (0 when the caller did not own the lock).
+        """
+        if not self.held_by_current():
+            return 0
+        depth = self.depth
+        self.depth = 1
+        self.release()
+        return depth
+
+    def reacquire(self, depth: int, label: str):
+        """Generator: regain the lock at the remembered ``depth``."""
+        if depth <= 0:
+            return
+            yield  # pragma: no cover - generator marker
+        if self._sim.current_task is None:
+            # Generator cleanup (GC of an abandoned simulation) runs the
+            # enclosing finally outside task context; nothing to relock.
+            return
+        yield from self.acquire(label)
+        self.depth = depth
+
+
+class LockPolicy:
+    """How RPC wire sends and reply processing interact with the BKL."""
+
+    def wire_send(self, label: str, body):  # pragma: no cover - interface
+        """Generator: run ``body`` (the sock_sendmsg work) per policy."""
+        raise NotImplementedError
+
+    def critical(self, label: str, body):  # pragma: no cover - interface
+        """Generator: run ``body`` inside the kernel-lock critical section."""
+        raise NotImplementedError
+
+    def daemon_acquire(self, label: str):
+        """Generator: a flush/completion daemon starts a work burst.
+
+        "Nfs_flushd holds the global kernel lock whenever it is awake and
+        flushing requests" (§3.5) — daemons lock once per burst, not per
+        operation.  Note the paper's fix does NOT remove this hold
+        ("after removing the global kernel lock from the daemon, we
+        found little improvement"); it only releases around the send.
+        """
+        return
+        yield  # pragma: no cover - generator marker
+
+    def daemon_release(self) -> None:
+        """End the daemon's work burst."""
+
+
+class StockLockPolicy(LockPolicy):
+    """2.4.4 behaviour: the RPC layer requires the BKL over the send."""
+
+    def __init__(self, bkl: BigKernelLock):
+        self.bkl = bkl
+
+    def wire_send(self, label: str, body):
+        return (yield from self.bkl.hold(label, body))
+
+    def critical(self, label: str, body):
+        return (yield from self.bkl.hold(label, body))
+
+    def daemon_acquire(self, label: str):
+        yield from self.bkl.acquire(label)
+
+    def daemon_release(self) -> None:
+        # Tolerate generator cleanup (GC of an abandoned simulation):
+        # the finally-clause then runs outside task context, where the
+        # lock state no longer matters.
+        if self.bkl.held_by_current():
+            self.bkl.release()
+
+
+class SendUnlockedPolicy(LockPolicy):
+    """The paper's patch: drop the BKL around ``sock_sendmsg()``."""
+
+    def __init__(self, bkl: BigKernelLock):
+        self.bkl = bkl
+
+    def wire_send(self, label: str, body):
+        depth = self.bkl.break_all()
+        try:
+            result = yield from body
+        finally:
+            yield from self.bkl.reacquire(depth, label)
+        return result
+
+    def critical(self, label: str, body):
+        return (yield from self.bkl.hold(label, body))
+
+    def daemon_acquire(self, label: str):
+        yield from self.bkl.acquire(label)
+
+    def daemon_release(self) -> None:
+        # Tolerate generator cleanup (GC of an abandoned simulation):
+        # the finally-clause then runs outside task context, where the
+        # lock state no longer matters.
+        if self.bkl.held_by_current():
+            self.bkl.release()
+
+
+class NoLockPolicy(LockPolicy):
+    """No global lock at all (servers, standalone transports)."""
+
+    def wire_send(self, label: str, body):
+        return (yield from body)
+
+    def critical(self, label: str, body):
+        return (yield from body)

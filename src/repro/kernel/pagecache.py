@@ -1,0 +1,101 @@
+"""Client page cache with dirty-memory accounting.
+
+Dirty bytes are charged when an application write lands in the cache and
+released only when the data is *stable* on the backing store (disk ack,
+FILE_SYNC WRITE reply, or COMMIT reply).  Writers charging past the
+dirty limit block — this is the "VFS layer blocks the writer" memory
+back-pressure of §3.3, and the mechanism that bends the throughput
+curves of Figs. 1 and 7 once file size approaches client RAM.
+
+Crossing the background threshold notifies pressure listeners (bdflush
+or nfs_flushd) so write-back starts before the hard wall is hit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..errors import ResourceError
+from ..sim import Simulator, WaitQueue
+
+__all__ = ["PageCache"]
+
+
+class PageCache:
+    """Dirty-byte accounting shared by every file on the client."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dirty_limit_bytes: int,
+        background_bytes: int,
+        name: str = "pagecache",
+    ):
+        if dirty_limit_bytes <= 0:
+            raise ResourceError(f"{name}: dirty limit must be positive")
+        if background_bytes > dirty_limit_bytes:
+            raise ResourceError(f"{name}: background threshold above limit")
+        self._sim = sim
+        self.name = name
+        self.dirty_limit = dirty_limit_bytes
+        self.background_limit = background_bytes
+        self.dirty_bytes = 0
+        self.peak_dirty = 0
+        self.throttled_count = 0
+        self.throttled_ns = 0
+        self._waitq = WaitQueue(sim, f"{name}-throttle")
+        self._pressure_listeners: List[Callable[[], None]] = []
+
+    def on_pressure(self, listener: Callable[[], None]) -> None:
+        """Register a write-back daemon kick."""
+        self._pressure_listeners.append(listener)
+
+    @property
+    def over_background(self) -> bool:
+        return self.dirty_bytes > self.background_limit
+
+    @property
+    def at_limit(self) -> bool:
+        return self.dirty_bytes >= self.dirty_limit
+
+    def charge(self, nbytes: int):
+        """Generator: account ``nbytes`` of freshly dirtied data.
+
+        Blocks (after kicking write-back) while the cache is at its
+        dirty limit.  Never called with the BKL held — Linux's BKL is
+        dropped across ``schedule()``, and we model that by structuring
+        call sites so blocking happens outside lock sections.
+        """
+        if nbytes < 0:
+            raise ResourceError(f"{self.name}: negative charge")
+        throttle_start = None
+        while self.dirty_bytes + nbytes > self.dirty_limit:
+            if throttle_start is None:
+                throttle_start = self._sim.now
+                self.throttled_count += 1
+            self._notify_pressure()
+            yield from self._waitq.sleep()
+        if throttle_start is not None:
+            self.throttled_ns += self._sim.now - throttle_start
+        self.dirty_bytes += nbytes
+        if self.dirty_bytes > self.peak_dirty:
+            self.peak_dirty = self.dirty_bytes
+        if self.over_background:
+            self._notify_pressure()
+
+    def uncharge(self, nbytes: int) -> None:
+        """Data became stable: release accounting and wake writers."""
+        if nbytes < 0 or nbytes > self.dirty_bytes:
+            raise ResourceError(
+                f"{self.name}: bad uncharge {nbytes} (dirty={self.dirty_bytes})"
+            )
+        self.dirty_bytes -= nbytes
+        self._waitq.wake_all()
+
+    @property
+    def throttled_writers(self) -> int:
+        return self._waitq.sleeping
+
+    def _notify_pressure(self) -> None:
+        for listener in self._pressure_listeners:
+            listener()

@@ -1,0 +1,98 @@
+"""System-call layer with the benchmark's measurement point.
+
+Wraps file operations with entry/exit overhead and per-call wall-clock
+latency recording — the paper measures ``write()`` latency "on either
+side of a target section of code" with ``do_gettimeofday()`` (§3.3);
+when instrumentation is enabled we charge its (small) cost too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError
+from ..net.host import Host
+from .vfs import VfsFile, generic_file_read, generic_file_write
+
+__all__ = ["SyscallLayer"]
+
+
+class SyscallLayer:
+    """write()/fsync()/close() entry points for one process."""
+
+    def __init__(
+        self,
+        host: Host,
+        instrument: bool = True,
+        latency_sink=None,
+    ):
+        self.host = host
+        self.instrument = instrument
+        #: Object with ``record(start_ns, end_ns)``; usually a
+        #: :class:`repro.bench.latency.LatencyTrace`.
+        self.latency_sink = latency_sink
+        self.write_calls = 0
+        self.bytes_written = 0
+        self.read_calls = 0
+        self.bytes_read = 0
+
+    def write(self, file: VfsFile, nbytes: int):
+        """Generator: one ``write(fd, buf, nbytes)`` call."""
+        self._check_open(file, "write")
+        start = self.host.sim.now
+        yield from self._enter()
+        written = yield from generic_file_write(self.host, file, nbytes)
+        yield from self._exit()
+        self.write_calls += 1
+        self.bytes_written += written
+        self._record(start)
+        return written
+
+    def read(self, file: VfsFile, nbytes: int):
+        """Generator: one ``read(fd, buf, nbytes)`` call."""
+        self._check_open(file, "read")
+        start = self.host.sim.now
+        yield from self._enter()
+        nread = yield from generic_file_read(self.host, file, nbytes)
+        yield from self._exit()
+        self.read_calls += 1
+        self.bytes_read += nread
+        self._record(start)
+        return nread
+
+    def fsync(self, file: VfsFile):
+        """Generator: one ``fsync(fd)`` call."""
+        self._check_open(file, "fsync")
+        yield from self._enter()
+        yield from file.fsync()
+        yield from self._exit()
+
+    def close(self, file: VfsFile):
+        """Generator: final ``close(fd)``."""
+        self._check_open(file, "close")
+        yield from self._enter()
+        yield from file.release()
+        file.closed = True
+        yield from self._exit()
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _check_open(file: VfsFile, op: str) -> None:
+        if file.closed:
+            raise SimulationError(f"{op}() on closed file {file.name!r} (EBADF)")
+
+    def _enter(self):
+        half = self.host.costs.syscall_overhead // 2
+        yield from self.host.cpus.execute(half, label="syscall_entry")
+
+    def _exit(self):
+        costs = self.host.costs
+        tail = costs.syscall_overhead - costs.syscall_overhead // 2
+        if self.instrument:
+            tail += costs.instrumentation
+        yield from self.host.cpus.execute(tail, label="syscall_exit")
+
+    def _record(self, start: int) -> None:
+        if self.latency_sink is not None:
+            self.latency_sink.record(start, self.host.sim.now)

@@ -1,0 +1,5 @@
+"""Local file system substrate (ext2 + bdflush write-back)."""
+
+from .ext2 import Ext2File, Ext2Fs
+
+__all__ = ["Ext2Fs", "Ext2File"]

@@ -1,0 +1,21 @@
+"""Network substrate: links, switch, IP fragmentation, UDP, hosts."""
+
+from .host import Host
+from .ip import fragment_count, fragment_sizes
+from .link import Link
+from .packet import Datagram, Fragment
+from .switch import Port, Switch
+from .udp import UdpSocket, UdpStack
+
+__all__ = [
+    "Host",
+    "Link",
+    "Switch",
+    "Port",
+    "Datagram",
+    "Fragment",
+    "UdpStack",
+    "UdpSocket",
+    "fragment_sizes",
+    "fragment_count",
+]

@@ -1,0 +1,39 @@
+"""Wire units: datagrams and the IP fragments they travel as."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Datagram", "Fragment"]
+
+
+@dataclass
+class Datagram:
+    """A UDP datagram addressed host-to-host.
+
+    ``payload`` is the simulated message object (e.g. an RPC call);
+    ``size`` is the UDP payload size in bytes, which drives wire timing.
+    """
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+    payload: Any
+    size: int
+    dgram_id: int = 0
+
+
+@dataclass
+class Fragment:
+    """One IP fragment of a datagram, as it appears on the wire."""
+
+    dgram: Datagram
+    index: int
+    count: int
+    wire_bytes: int
+
+    @property
+    def is_last(self) -> bool:
+        return self.index == self.count - 1

@@ -1,0 +1,116 @@
+"""Store-and-forward Ethernet switch with named ports.
+
+Each attached host gets a full-duplex pair of links (host→switch and
+switch→host).  Datagrams are fragmented at the sender per the path MTU,
+forwarded fragment-by-fragment, and reassembled at the destination port
+(kernel IP reassembly); the receiving host is notified per fragment so
+it can charge interrupt costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..config import NetConfig
+from ..errors import ConfigError
+from ..sim import RngStreams, Simulator
+from .ip import fragment_sizes
+from .link import Link
+from .packet import Datagram, Fragment
+
+__all__ = ["Switch", "Port"]
+
+
+class Port:
+    """A host's attachment point: two links and a reassembly buffer."""
+
+    def __init__(self, switch: "Switch", name: str, net: NetConfig):
+        sim = switch._sim
+        self.switch = switch
+        self.name = name
+        self.net = net
+        self.uplink = Link(sim, net.bandwidth_bytes_per_sec, net.latency_ns, f"{name}-up")
+        self.downlink = Link(
+            sim, net.bandwidth_bytes_per_sec, net.latency_ns, f"{name}-down"
+        )
+        #: Host hook: called for every arriving fragment with the
+        #: fragment and the fully reassembled datagram (or None).
+        self.on_fragment: Optional[Callable[[Fragment, Optional[Datagram]], None]] = None
+        self._partial: Dict[int, int] = {}
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    # -- transmit -----------------------------------------------------------
+
+    def send_datagram(self, dgram: Datagram) -> None:
+        """Fragment ``dgram`` per this port's MTU and launch it."""
+        dgram.dgram_id = self.switch._next_dgram_id()
+        sizes = fragment_sizes(dgram.size, self.net)
+        count = len(sizes)
+        for index, wire_bytes in enumerate(sizes):
+            frag = Fragment(dgram, index, count, wire_bytes)
+            self.uplink.send(wire_bytes, self.switch._forward, frag)
+        self.datagrams_sent += 1
+
+    # -- receive --------------------------------------------------------------
+
+    def _arrive(self, frag: Fragment) -> None:
+        dgram = frag.dgram
+        got = self._partial.get(dgram.dgram_id, 0) + 1
+        complete: Optional[Datagram] = None
+        if got == frag.count:
+            self._partial.pop(dgram.dgram_id, None)
+            self.datagrams_received += 1
+            complete = dgram
+        else:
+            self._partial[dgram.dgram_id] = got
+            # Reassembly GC: datagrams that lost a fragment never
+            # complete; bound the table like a kernel's frag timeout.
+            while len(self._partial) > 4096:
+                self._partial.pop(next(iter(self._partial)))
+        if self.on_fragment is not None:
+            self.on_fragment(frag, complete)
+
+
+class Switch:
+    """Connects named ports; forwards fragments by destination host name.
+
+    Fault injection: ports attached with a non-zero
+    ``NetConfig.loss_probability`` have fragments dropped at forward
+    time from a dedicated RNG stream, exercising RPC retransmission.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "switch", seed: int = 0):
+        self._sim = sim
+        self.name = name
+        self._ports: Dict[str, Port] = {}
+        self._dgram_seq = 0
+        self._rng = RngStreams(seed).stream(f"{name}-loss")
+        self.fragments_dropped = 0
+
+    def attach(self, host_name: str, net: NetConfig) -> Port:
+        if host_name in self._ports:
+            raise ConfigError(f"{self.name}: host {host_name!r} already attached")
+        port = Port(self, host_name, net)
+        self._ports[host_name] = port
+        return port
+
+    def port(self, host_name: str) -> Port:
+        try:
+            return self._ports[host_name]
+        except KeyError:
+            raise ConfigError(f"{self.name}: unknown host {host_name!r}") from None
+
+    def _forward(self, frag: Fragment) -> None:
+        dst = self._ports.get(frag.dgram.dst)
+        if dst is None:
+            return  # destination detached: frame dropped on the floor
+        loss = dst.net.loss_probability
+        if loss > 0.0 and self._rng.random() < loss:
+            self.fragments_dropped += 1
+            return
+        dst.downlink.send(frag.wire_bytes, dst._arrive, frag)
+
+    def _next_dgram_id(self) -> int:
+        self._dgram_seq += 1
+        return self._dgram_seq

@@ -1,0 +1,160 @@
+"""NFSv3 operations used by the sequential write workload (RFC 1813).
+
+The model carries structured arguments/results plus accurate-enough wire
+sizes; actual XDR bytes are never materialised.  ``Stable`` levels drive
+the client's page lifecycle: a server that answers ``FILE_SYNC`` (the
+filer, thanks to NVRAM) lets the client free pages on the WRITE reply,
+while ``UNSTABLE`` replies (Linux knfsd) keep pages pinned until a
+COMMIT succeeds — the paper's "additional COMMIT RPC" distinction
+(§3.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..rpc.messages import RPC_CALL_HEADER, RPC_REPLY_HEADER
+
+__all__ = [
+    "Stable",
+    "WriteArgs",
+    "WriteResult",
+    "ReadArgs",
+    "ReadResult",
+    "CommitArgs",
+    "CommitResult",
+    "CreateArgs",
+    "CreateResult",
+    "LookupArgs",
+    "LookupResult",
+    "write_call_size",
+    "write_reply_size",
+    "read_call_size",
+    "read_reply_size",
+    "commit_call_size",
+    "commit_reply_size",
+]
+
+#: File handle + offset + count + stable_how on a WRITE call.
+WRITE_ARGS_OVERHEAD = 96
+#: wcc_data + count + committed + verf on a WRITE reply.
+WRITE_RES_BYTES = 88
+COMMIT_ARGS_BYTES = 84
+COMMIT_RES_BYTES = 80
+CREATE_ARGS_BYTES = 128
+CREATE_RES_BYTES = 144
+
+
+class Stable(enum.IntEnum):
+    """stable_how / committed levels (RFC 1813 §3.3.7)."""
+
+    UNSTABLE = 0
+    DATA_SYNC = 1
+    FILE_SYNC = 2
+
+
+@dataclass
+class WriteArgs:
+    fileid: int
+    offset: int
+    count: int
+    stable: Stable = Stable.UNSTABLE
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"WRITE of {self.count} bytes")
+        if self.offset < 0:
+            raise ValueError(f"negative offset {self.offset}")
+
+
+@dataclass
+class WriteResult:
+    count: int
+    committed: Stable
+    verf: int = 0
+    #: Post-op attribute: the file's change token after this write, so
+    #: clients can keep their attribute cache coherent with their own
+    #: traffic (close-to-open without spurious invalidations).
+    change_id: int = 0
+
+
+@dataclass
+class ReadArgs:
+    fileid: int
+    offset: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"READ of {self.count} bytes")
+        if self.offset < 0:
+            raise ValueError(f"negative offset {self.offset}")
+
+
+@dataclass
+class ReadResult:
+    count: int
+    eof: bool
+
+
+@dataclass
+class CommitArgs:
+    fileid: int
+    offset: int = 0
+    count: int = 0  # 0 = whole file
+
+
+@dataclass
+class CommitResult:
+    verf: int = 0
+
+
+@dataclass
+class CreateArgs:
+    name: str
+
+
+@dataclass
+class CreateResult:
+    fileid: int
+
+
+@dataclass
+class LookupArgs:
+    name: str
+
+
+@dataclass
+class LookupResult:
+    fileid: int
+    size: int
+    #: Change-detection token (mtime stand-in) for close-to-open checks.
+    change_id: int
+
+
+def write_call_size(count: int) -> int:
+    """UDP payload bytes of a WRITE call carrying ``count`` data bytes."""
+    return RPC_CALL_HEADER + WRITE_ARGS_OVERHEAD + count
+
+
+def write_reply_size() -> int:
+    return RPC_REPLY_HEADER + WRITE_RES_BYTES
+
+
+def read_call_size() -> int:
+    """UDP payload bytes of a READ call (handle + offset + count)."""
+    return RPC_CALL_HEADER + 92
+
+
+def read_reply_size(count: int) -> int:
+    """UDP payload bytes of a READ reply carrying ``count`` data bytes."""
+    return RPC_REPLY_HEADER + 76 + count
+
+
+def commit_call_size() -> int:
+    return RPC_CALL_HEADER + COMMIT_ARGS_BYTES
+
+
+def commit_reply_size() -> int:
+    return RPC_REPLY_HEADER + COMMIT_RES_BYTES

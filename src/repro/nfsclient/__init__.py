@@ -1,0 +1,37 @@
+"""The Linux NFS client model — the paper's subject."""
+
+from .client import NfsClient, NfsClientStats
+from .coalesce import contiguous_run_length, group_extent, take_group
+from .file import NfsFile
+from .flush import FlushPolicy, LazyFlushPolicy, StockFlushPolicy
+from .flushd import NfsFlushd
+from .inode import NfsInode
+from .request import NfsPageRequest, RequestState
+from .request_hash import HashTableIndex
+from .request_index import RequestIndex
+from .request_list import SortedListIndex
+from .variants import VARIANT_ORDER, VARIANTS, variant_config
+from .writepath import WritePath
+
+__all__ = [
+    "NfsClient",
+    "NfsClientStats",
+    "NfsFile",
+    "NfsInode",
+    "NfsPageRequest",
+    "RequestState",
+    "RequestIndex",
+    "SortedListIndex",
+    "HashTableIndex",
+    "FlushPolicy",
+    "StockFlushPolicy",
+    "LazyFlushPolicy",
+    "NfsFlushd",
+    "WritePath",
+    "take_group",
+    "group_extent",
+    "contiguous_run_length",
+    "VARIANTS",
+    "VARIANT_ORDER",
+    "variant_config",
+]

@@ -1,0 +1,453 @@
+"""The NFS client facade: wiring, RPC generation, completion paths.
+
+One :class:`NfsClient` models one NFSv3 mount on the client machine:
+the Big Kernel Lock, the request index (stock list or the paper's hash
+table), the flush policy, ``nfs_flushd``, and the RPC transport with its
+rpciod.  The behavioural switches of
+:class:`repro.config.NfsClientConfig` select the paper's client variants
+(see :mod:`repro.nfsclient.variants`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..config import MountConfig, NfsClientConfig
+from ..errors import ProtocolError
+from ..kernel.bkl import BigKernelLock, SendUnlockedPolicy, StockLockPolicy
+from ..kernel.pagecache import PageCache
+from ..net.host import Host
+from ..nfs3 import (
+    CommitArgs,
+    CommitResult,
+    CreateArgs,
+    CreateResult,
+    LookupArgs,
+    LookupResult,
+    ReadArgs,
+    ReadResult,
+    Stable,
+    WriteArgs,
+    WriteResult,
+    commit_call_size,
+    read_call_size,
+    write_call_size,
+)
+from ..rpc import RpcCall, UdpTransport
+from ..sim import PRIO_KERNEL, Event, WaitQueue
+from ..units import PAGE_SIZE
+from .coalesce import group_extent
+from .file import NfsFile
+from .flush import LazyFlushPolicy, StockFlushPolicy
+from .flushd import NfsFlushd
+from .inode import NfsInode
+from .request import NfsPageRequest
+from .request_hash import HashTableIndex
+from .request_list import SortedListIndex
+from .writepath import WritePath
+
+__all__ = ["NfsClient", "NfsClientStats"]
+
+NFS_PORT = 2049
+
+
+class NfsClientStats:
+    """Counters experiments and tests assert on."""
+
+    __slots__ = (
+        "writes_sent",
+        "bytes_sent",
+        "commits_sent",
+        "reads_sent",
+        "bytes_fetched",
+        "soft_flushes",
+        "hard_sleeps",
+        "explicit_flushes",
+        "coalesced_updates",
+        "page_waits",
+    )
+
+    def __init__(self) -> None:
+        self.writes_sent = 0
+        self.bytes_sent = 0
+        self.commits_sent = 0
+        self.reads_sent = 0
+        self.bytes_fetched = 0
+        self.soft_flushes = 0
+        self.hard_sleeps = 0
+        self.explicit_flushes = 0
+        self.coalesced_updates = 0
+        self.page_waits = 0
+
+
+class NfsClient:
+    """One NFSv3 mount."""
+
+    def __init__(
+        self,
+        host: Host,
+        pagecache: PageCache,
+        server: str,
+        mount: Optional[MountConfig] = None,
+        behavior: Optional[NfsClientConfig] = None,
+        server_port: int = NFS_PORT,
+        client_port: int = 700,
+        bkl: Optional[BigKernelLock] = None,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.pagecache = pagecache
+        self.mount = mount or MountConfig()
+        self.behavior = behavior or NfsClientConfig()
+        # The BKL is kernel-wide: mounts on the same machine must share
+        # one (pass it in), which is exactly why the paper's future work
+        # wants the RPC layer off the global lock (§3.5).
+        self.bkl = bkl or BigKernelLock(self.sim)
+        if self.behavior.release_bkl_for_send:
+            lock_policy = SendUnlockedPolicy(self.bkl)
+        else:
+            lock_policy = StockLockPolicy(self.bkl)
+        self.xprt = UdpTransport(
+            host,
+            host.udp.socket(client_port),
+            server,
+            server_port,
+            slots=self.behavior.rpc_slots,
+            timeo_ns=self.mount.timeo_ns,
+            lock_policy=lock_policy,
+            name=f"{host.name}-xprt",
+        )
+        costs = host.costs
+        if self.behavior.hashtable_index:
+            self.index = HashTableIndex(
+                self.behavior.hash_buckets,
+                lookup_cost_ns=costs.hash_lookup,
+                node_cost_ns=costs.hash_node_visit,
+            )
+        else:
+            self.index = SortedListIndex(node_cost_ns=costs.list_node_visit)
+        if self.behavior.eager_flush_limits:
+            self.flush_policy = StockFlushPolicy(
+                self,
+                soft=self.behavior.max_request_soft,
+                hard=self.behavior.max_request_hard,
+            )
+        else:
+            self.flush_policy = LazyFlushPolicy()
+        self.behavior_single_search = self.behavior.single_search
+        self.writepath = WritePath(self)
+        #: Requests not yet stable (dirty + in flight + unstable).
+        self.live_requests = 0
+        #: Requests in the write-back pipeline (dirty + in flight) —
+        #: the mount-wide count MAX_REQUEST_HARD compares against.
+        self.writeback_count = 0
+        self.hard_waitq = WaitQueue(self.sim, f"{host.name}-hardlimit")
+        self.stats = NfsClientStats()
+        self._inodes: Dict[int, NfsInode] = {}
+        self._next_fileid = 1
+        self.flushd = NfsFlushd(self)
+
+    # -- namespace ---------------------------------------------------------
+
+    @property
+    def pages_per_rpc(self) -> int:
+        return max(1, self.mount.wsize // PAGE_SIZE)
+
+    def inodes(self) -> Iterable[NfsInode]:
+        return list(self._inodes.values())
+
+    def inode(self, fileid: int) -> NfsInode:
+        return self._inodes[fileid]
+
+    def open_new(self, name: str, sync: bool = False):
+        """Generator: CREATE a fresh file on the server, return an NfsFile.
+
+        Writing into a fresh file keeps the benchmark on the pure write
+        path — no read-modify-write of existing data (§2.3).  With
+        ``sync`` the file behaves as if opened O_SYNC: every ``write()``
+        returns only once the data is stable on the server.
+        """
+        call = RpcCall(
+            xid=self.xprt.next_xid(),
+            prog="nfs3",
+            proc="CREATE",
+            args=CreateArgs(name),
+            size=200,
+        )
+        reply = yield from self.xprt.call_and_wait(call)
+        result = reply.result
+        if not isinstance(result, CreateResult):
+            raise ProtocolError(f"CREATE returned {result!r}")
+        inode = NfsInode(self.sim, result.fileid, name)
+        self._inodes[result.fileid] = inode
+        return NfsFile(self, inode, sync=sync)
+
+    def open_existing(self, name: str, sync: bool = False):
+        """Generator: open a file already on the server (LOOKUP).
+
+        Implements close-to-open consistency: the LOOKUP's change token
+        is compared with the one cached at the previous open, and the
+        client's cached pages are invalidated when they differ.  (Our
+        own writes also bump the token, so a re-open after writing
+        conservatively re-reads — real clients track post-op attributes
+        to avoid that.)
+        """
+        call = RpcCall(
+            xid=self.xprt.next_xid(),
+            prog="nfs3",
+            proc="LOOKUP",
+            args=LookupArgs(name),
+            size=180,
+        )
+        reply = yield from self.xprt.call_and_wait(call)
+        result = reply.result
+        if not isinstance(result, LookupResult):
+            raise ProtocolError(f"LOOKUP returned {result!r}")
+        inode = self._inodes.get(result.fileid)
+        if inode is None:
+            inode = NfsInode(self.sim, result.fileid, name)
+            inode.server_change_id = result.change_id
+            self._inodes[result.fileid] = inode
+        elif inode.server_change_id != result.change_id:
+            inode.invalidate_cache()
+            inode.server_change_id = result.change_id
+        file = NfsFile(self, inode, sync=sync)
+        file.size = result.size
+        return file
+
+    # -- WRITE ------------------------------------------------------------------
+
+    def submit_write(
+        self,
+        inode: NfsInode,
+        group: List[NfsPageRequest],
+        stable: Optional[Stable] = None,
+    ):
+        """Generator: turn a contiguous request group into an async WRITE.
+
+        Runs in the scheduling context (writer's nfs_strategy, a flush,
+        or nfs_flushd) — the transport decides whether the wire send
+        happens here or in rpciod.  NFSv2 has no unstable writes: every
+        WRITE is forced FILE_SYNC regardless of ``stable``.
+        """
+        if self.mount.nfs_version == 2:
+            stable = Stable.FILE_SYNC
+        elif stable is None:
+            stable = Stable.UNSTABLE
+        offset, count = group_extent(group)
+        now = self.sim.now
+        for req in group:
+            inode.note_scheduled(req, now)
+        yield from self.host.cpus.execute(
+            self.host.costs.rpc_task_setup, label="rpc_task_setup",
+            priority=PRIO_KERNEL,
+        )
+        call = RpcCall(
+            xid=self.xprt.next_xid(),
+            prog="nfs3" if self.mount.nfs_version == 3 else "nfs2",
+            proc="WRITE",
+            args=WriteArgs(inode.fileid, offset, count, stable),
+            size=write_call_size(count),
+        )
+        self.stats.writes_sent += 1
+        self.stats.bytes_sent += count
+
+        def on_complete(reply):
+            return self._write_done(inode, group, reply)
+
+        yield from self.xprt.submit(call, on_complete)
+
+    def _write_done(self, inode: NfsInode, group: List[NfsPageRequest], reply):
+        """Generator: WRITE completion (rpciod context, BKL critical)."""
+        result = reply.result
+        if not isinstance(result, WriteResult):
+            raise ProtocolError(f"WRITE returned {result!r}")
+        cpus = self.host.cpus
+        costs = self.host.costs
+        now = self.sim.now
+        # Post-op attributes keep the attribute cache coherent with our
+        # own writes (no self-inflicted invalidation at the next open).
+        if result.change_id > inode.server_change_id:
+            inode.server_change_id = result.change_id
+        for req in group:
+            yield from cpus.execute(
+                costs.request_complete, label="nfs_write_done", priority=PRIO_KERNEL
+            )
+            if result.committed >= Stable.DATA_SYNC:
+                remove_cost = self.index.remove(req)
+                yield from cpus.execute(
+                    remove_cost, label="nfs_request_remove", priority=PRIO_KERNEL
+                )
+                inode.note_write_done(req, now)
+                self.live_requests -= 1
+            else:
+                inode.note_unstable(req)
+            self._writeback_retired()
+            if result.committed >= Stable.DATA_SYNC:
+                self.pagecache.uncharge(PAGE_SIZE)
+        inode.waitq.wake_all()
+
+    # -- READ ----------------------------------------------------------------------
+
+    def fetch_pages(self, file, start_page: int, wait: bool = True):
+        """Generator: fetch one rsize range into the client cache.
+
+        Returns False (without I/O) when ``start_page`` is past EOF.
+        With ``wait=False`` the READ proceeds asynchronously — the
+        read-ahead path.
+        """
+        from ..units import PAGE_SIZE as _PAGE
+
+        start_byte = start_page * _PAGE
+        if start_byte >= file.size:
+            return False
+        count = min(self.mount.rsize, file.size - start_byte)
+        npages = -(-count // _PAGE)
+        done = Event(self.sim)
+        pages = range(start_page, start_page + npages)
+        for page in pages:
+            file._read_pending[page] = done
+        call = RpcCall(
+            xid=self.xprt.next_xid(),
+            prog="nfs3" if self.mount.nfs_version == 3 else "nfs2",
+            proc="READ",
+            args=ReadArgs(file.inode.fileid, start_byte, count),
+            size=read_call_size(),
+        )
+        self.stats.reads_sent += 1
+        self.stats.bytes_fetched += count
+
+        def on_complete(reply):
+            return self._read_done(file, pages, done, reply)
+
+        pending = yield from self.xprt.submit(call, on_complete)
+        if wait:
+            yield pending.completion
+        return True
+
+    def _read_done(self, file, pages, done: Event, reply):
+        """Generator: READ completion (rpciod context, BKL critical)."""
+        result = reply.result
+        if not isinstance(result, ReadResult):
+            raise ProtocolError(f"READ returned {result!r}")
+        cpus = self.host.cpus
+        for page in pages:
+            yield from cpus.execute(
+                self.host.costs.request_complete,
+                label="nfs_readpage_result",
+                priority=PRIO_KERNEL,
+            )
+            file.cached_pages.add(page)
+            file._read_pending.pop(page, None)
+        if not done.fired:
+            done.trigger()
+
+    # -- COMMIT -----------------------------------------------------------------
+
+    def commit_inode(self, inode: NfsInode, wait: bool = True):
+        """Generator: COMMIT the inode's unstable data.
+
+        With ``wait``, blocks until commit completion (fsync/close
+        semantics); otherwise just launches it (flushd's memory-pressure
+        behaviour).  Concurrent callers piggyback on the in-flight
+        commit.
+        """
+        if inode.commit_in_flight:
+            if wait:
+                yield from inode.waitq.wait_until(
+                    lambda: not inode.commit_in_flight
+                )
+            return
+        if not inode.unstable:
+            return
+        inode.commit_in_flight = True
+        snapshot = inode.unstable
+        inode.unstable = []
+        call = RpcCall(
+            xid=self.xprt.next_xid(),
+            prog="nfs3",
+            proc="COMMIT",
+            args=CommitArgs(inode.fileid),
+            size=commit_call_size(),
+        )
+        self.stats.commits_sent += 1
+
+        def on_complete(reply):
+            return self._commit_done(inode, snapshot, reply)
+
+        pending = yield from self.xprt.submit(call, on_complete)
+        if wait:
+            yield pending.completion
+
+    def _commit_done(self, inode: NfsInode, snapshot: List[NfsPageRequest], reply):
+        """Generator: COMMIT completion (rpciod context, BKL critical)."""
+        result = reply.result
+        if not isinstance(result, CommitResult):
+            raise ProtocolError(f"COMMIT returned {result!r}")
+        cpus = self.host.cpus
+        costs = self.host.costs
+        now = self.sim.now
+        for req in snapshot:
+            yield from cpus.execute(
+                costs.request_complete, label="nfs_commit_done", priority=PRIO_KERNEL
+            )
+            remove_cost = self.index.remove(req)
+            yield from cpus.execute(
+                remove_cost, label="nfs_request_remove", priority=PRIO_KERNEL
+            )
+            inode.note_committed(req, now)
+            self.live_requests -= 1
+            self.pagecache.uncharge(PAGE_SIZE)
+        inode.commit_in_flight = False
+        inode.waitq.wake_all()
+
+    # -- flush (fsync/close/threshold) ------------------------------------------
+
+    def flush_writes(self, inode: NfsInode, stable: Optional[Stable] = None):
+        """Generator: schedule all dirty requests, wait for WRITE replies.
+
+        The MAX_REQUEST_SOFT path (§3.3): the writer "schedules all
+        pending writes for that inode and waits for their completion".
+        Write-back completion suffices — UNSTABLE data may continue to
+        await COMMIT without counting against the thresholds.  The
+        O_SYNC path passes ``stable=FILE_SYNC`` to force durability.
+        """
+        if inode.dirty:
+            yield from self.bkl.hold(
+                "nfs_flush", self.writepath.schedule_all(inode, stable=stable)
+            )
+        yield from inode.waitq.wait_until(
+            lambda: not inode.has_unfinished_writes()
+        )
+
+    def flush_inode(self, inode: NfsInode):
+        """Generator: schedule everything, wait for stability.
+
+        This is the paper's "schedule all pending writes for that inode
+        and wait for their completion" (§3.3) and also the fsync/close
+        path — NFS "always flushes completely before last close" (§2.3).
+        """
+        self.stats.explicit_flushes += 1
+        while True:
+            if inode.dirty:
+                yield from self.bkl.hold(
+                    "nfs_flush", self.writepath.schedule_all(inode)
+                )
+            if inode.has_unfinished_writes():
+                yield from inode.waitq.wait_until(
+                    lambda: not inode.has_unfinished_writes()
+                )
+                continue
+            if inode.unstable or inode.commit_in_flight:
+                yield from self.commit_inode(inode, wait=True)
+                continue
+            if inode.dirty:  # a concurrent writer dirtied more
+                continue
+            return
+
+    # -- internals -----------------------------------------------------------------
+
+    def _writeback_retired(self) -> None:
+        self.writeback_count -= 1
+        if self.writeback_count <= self.behavior.max_request_hard:
+            self.hard_waitq.wake_all()

@@ -1,0 +1,55 @@
+"""Grouping page requests into wsize RPCs.
+
+"Write requests are coalesced into wsize chunks just before the client
+generates write RPCs" (§3.4).  Groups are maximal contiguous runs taken
+from the head of an inode's dirty queue; ``nfs_strategy`` only fires a
+group once a full wsize worth is available, while explicit flushes force
+out partial tails too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .inode import NfsInode
+from .request import NfsPageRequest
+
+__all__ = ["take_group", "contiguous_run_length", "group_extent"]
+
+
+def contiguous_run_length(inode: NfsInode, max_requests: int) -> int:
+    """Length of the contiguous run at the head of the dirty queue."""
+    run = 0
+    prev_end: Optional[int] = None
+    for req in inode.dirty:
+        if run >= max_requests:
+            break
+        if prev_end is not None and req.file_offset != prev_end:
+            break
+        prev_end = req.file_offset + req.nbytes
+        run += 1
+    return run
+
+
+def take_group(
+    inode: NfsInode, pages_per_rpc: int, force: bool = False
+) -> Optional[List[NfsPageRequest]]:
+    """Pop the next RPC-worth of requests, or None.
+
+    Without ``force``, only a full ``pages_per_rpc`` contiguous run is
+    taken (nfs_strategy); with ``force``, any non-empty head run goes
+    (flush paths push partial tails).
+    """
+    run = contiguous_run_length(inode, pages_per_rpc)
+    if run == 0:
+        return None
+    if run < pages_per_rpc and not force:
+        return None
+    return [inode.dirty.popleft() for _ in range(run)]
+
+
+def group_extent(group: List[NfsPageRequest]) -> tuple:
+    """``(offset, count)`` covered by a contiguous group."""
+    offset = group[0].file_offset
+    count = sum(req.nbytes for req in group)
+    return offset, count

@@ -1,0 +1,78 @@
+"""An open NFS file, pluggable into the VFS layer."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..kernel.vfs import VfsFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .client import NfsClient
+    from .inode import NfsInode
+
+__all__ = ["NfsFile"]
+
+
+class NfsFile(VfsFile):
+    """VFS hooks bound to an NFS inode."""
+
+    def __init__(self, client: "NfsClient", inode: "NfsInode", sync: bool = False):
+        super().__init__(fileid=inode.fileid, name=inode.name)
+        self.client = client
+        self.inode = inode
+        #: O_SYNC: every write waits for server-stable data.
+        self.sync = sync
+
+    # The page cache is per-inode: it survives close/re-open (subject to
+    # close-to-open revalidation in NfsClient.open_existing).
+    @property
+    def cached_pages(self):
+        return self.inode.cached_pages
+
+    @property
+    def _read_pending(self):
+        return self.inode.read_pending
+
+    def commit_write(self, page_index: int, offset_in_page: int, nbytes: int):
+        yield from self.client.writepath.nfs_updatepage(
+            self.inode, page_index, offset_in_page, nbytes
+        )
+        self.cached_pages.add(page_index)
+        if self.sync:
+            from ..nfs3 import Stable
+
+            yield from self.client.flush_writes(self.inode, stable=Stable.FILE_SYNC)
+
+    # -- reads ---------------------------------------------------------------
+
+    def has_page(self, page_index: int) -> bool:
+        if page_index in self.cached_pages:
+            return True
+        # Dirty data not yet written back is readable from the cache too.
+        return self.client.index.peek(self.inode.fileid, page_index) is not None
+
+    def readpage(self, page_index: int):
+        pending = self._read_pending.get(page_index)
+        if pending is not None:
+            yield pending  # someone is already fetching this range
+            return
+        yield from self.client.fetch_pages(self, page_index, wait=True)
+        # Sequential read-ahead: fire-and-forget fetches behind the fault.
+        pages_per_rpc = max(1, self.client.mount.rsize // 4096)
+        ra_end = page_index + pages_per_rpc + self.client.mount.readahead_pages
+        next_start = page_index + pages_per_rpc
+        while next_start < ra_end:
+            if not self.has_page(next_start) and next_start not in self._read_pending:
+                started = yield from self.client.fetch_pages(
+                    self, next_start, wait=False
+                )
+                if not started:
+                    break  # past EOF
+            next_start += pages_per_rpc
+
+    def fsync(self):
+        yield from self.client.flush_inode(self.inode)
+
+    def release(self):
+        # NFS close-to-open consistency: flush completely on last close.
+        yield from self.client.flush_inode(self.inode)

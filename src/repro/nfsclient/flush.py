@@ -1,0 +1,58 @@
+"""Flush policies: the stock 2.4.4 thresholds versus lazy caching.
+
+Stock 2.4.4 (§3.3): once an inode accumulates more than
+``MAX_REQUEST_SOFT`` (192) live requests, the *writer* synchronously
+flushes the whole inode and waits — the 19 ms latency spikes of Fig. 2.
+Once the mount holds more than ``MAX_REQUEST_HARD`` (256), writers sleep
+until completions bring the count back down.
+
+The paper's first patch removes this "redundant flushing logic": the
+client should cache as many requests as memory allows and flush only on
+fsync/close or memory pressure (:class:`LazyFlushPolicy`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .client import NfsClient
+    from .inode import NfsInode
+
+__all__ = ["FlushPolicy", "StockFlushPolicy", "LazyFlushPolicy"]
+
+
+class FlushPolicy:
+    """Per-page hook run in the writer's context after each page lands."""
+
+    def after_page(self, inode: "NfsInode"):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class StockFlushPolicy(FlushPolicy):
+    """MAX_REQUEST_SOFT / MAX_REQUEST_HARD behaviour of Linux 2.4.4."""
+
+    def __init__(self, client: "NfsClient", soft: int, hard: int):
+        self.client = client
+        self.soft = soft
+        self.hard = hard
+
+    def after_page(self, inode: "NfsInode"):
+        client = self.client
+        if inode.writeback_requests > self.soft:
+            client.stats.soft_flushes += 1
+            yield from client.flush_writes(inode)
+        slept = False
+        while client.writeback_count > self.hard:
+            if not slept:
+                client.stats.hard_sleeps += 1
+                slept = True
+            yield from client.hard_waitq.sleep()
+
+
+class LazyFlushPolicy(FlushPolicy):
+    """The patch: no threshold flushing; memory pressure rules instead."""
+
+    def after_page(self, inode: "NfsInode"):
+        return
+        yield  # pragma: no cover - generator marker

@@ -1,0 +1,86 @@
+"""``nfs_flushd``: the client's write-behind daemon.
+
+Wakes periodically (and whenever the page cache signals dirty-memory
+pressure) to push aged partial requests to the server and to COMMIT
+unstable data so its pages can be reclaimed.  Under the stock lock
+policy every flushing step happens with the BKL held — "nfs_flushd
+holds the global kernel lock whenever it is awake and flushing
+requests" (§3.5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim import Event
+from ..units import ms
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .client import NfsClient
+
+__all__ = ["NfsFlushd"]
+
+
+class NfsFlushd:
+    """Background flush daemon for one client."""
+
+    def __init__(
+        self,
+        client: "NfsClient",
+        interval_ns: int = ms(100),
+        age_limit_ns: int = ms(500),
+    ):
+        self.client = client
+        self.interval_ns = interval_ns
+        self.age_limit_ns = age_limit_ns
+        self.wakeups = 0
+        self.commits_started = 0
+        self._kick_event: Event = Event(client.sim)
+        #: A kick arrived while the daemon was busy (or before its loop
+        #: first ran) — handle it on the next pass instead of losing it.
+        self._kick_pending = False
+        client.pagecache.on_pressure(self.kick)
+        self.task = client.sim.spawn(
+            self._loop(), name=f"{client.host.name}-nfs_flushd", daemon=True
+        )
+
+    def kick(self) -> None:
+        """Wake the daemon early (memory pressure, explicit nudge)."""
+        self._kick_pending = True
+        if not self._kick_event.fired:
+            self._kick_event.trigger()
+
+    def _loop(self):
+        client = self.client
+        sim = client.sim
+        while True:
+            if not self._kick_pending:
+                self._kick_event = Event(sim)
+                if self._kick_pending:  # raced in while re-arming
+                    continue
+                timer = sim.schedule(self.interval_ns, self.kick)
+                yield self._kick_event
+                timer.cancel()
+            self._kick_pending = False
+            self.wakeups += 1
+            yield from self._flush_pass()
+
+    def _flush_pass(self):
+        client = self.client
+        pressure = client.pagecache.over_background
+        for inode in client.inodes():
+            if inode.dirty and (pressure or self._has_aged_dirty(inode)):
+                yield from client.bkl.hold(
+                    "nfs_flushd", client.writepath.schedule_all(inode)
+                )
+            if pressure and inode.unstable_bytes > 0 and not inode.commit_in_flight:
+                # Commit so the reply can release pinned pages; do not
+                # wait here — the daemon must keep servicing other work.
+                self.commits_started += 1
+                yield from client.commit_inode(inode, wait=False)
+
+    def _has_aged_dirty(self, inode) -> bool:
+        if not inode.dirty:
+            return False
+        oldest = inode.dirty[0]
+        return self.client.sim.now - oldest.created_at >= self.age_limit_ns

@@ -1,0 +1,87 @@
+"""Per-file NFS client state (``struct nfs_inode_info``)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from ..sim import Simulator, WaitQueue
+from .request import NfsPageRequest, RequestState
+
+__all__ = ["NfsInode"]
+
+
+class NfsInode:
+    """Book-keeping for one NFS file's outstanding writes."""
+
+    def __init__(self, sim: Simulator, fileid: int, name: str):
+        self.fileid = fileid
+        self.name = name
+        #: DIRTY requests not yet grouped into an RPC, in creation order.
+        self.dirty: Deque[NfsPageRequest] = deque()
+        #: Requests acknowledged UNSTABLE, awaiting COMMIT.
+        self.unstable: List[NfsPageRequest] = []
+        self.unstable_bytes = 0
+        #: SCHEDULED request count (in an RPC, reply not yet processed).
+        self.writes_in_flight = 0
+        #: All requests not yet DONE (dirty + in flight + unstable).
+        self.live_requests = 0
+        self.total_requests_created = 0
+        self.commit_in_flight = False
+        #: Broadcast on every completion (write done, commit done).
+        self.waitq = WaitQueue(sim, f"inode{fileid}-waitq")
+        #: Clean pages resident in the client cache (survive close).
+        self.cached_pages = set()
+        #: page -> Event for in-flight READs (fault coalescing).
+        self.read_pending = {}
+        #: Server change token seen at the last open (close-to-open).
+        self.server_change_id = 0
+
+    def invalidate_cache(self) -> None:
+        """Drop clean cached pages (revalidation found the file changed)."""
+        self.cached_pages.clear()
+
+    def has_unfinished_writes(self) -> bool:
+        """Dirty or in-flight WRITE data (commit state not included)."""
+        return bool(self.dirty) or self.writes_in_flight > 0
+
+    @property
+    def writeback_requests(self) -> int:
+        """Requests in the write-back pipeline: dirty + in flight.
+
+        This is the count the 2.4.4 thresholds compare against —
+        UNSTABLE requests awaiting COMMIT are off the write-back lists
+        and do not count.
+        """
+        return len(self.dirty) + self.writes_in_flight
+
+    def is_clean(self) -> bool:
+        return self.live_requests == 0 and not self.commit_in_flight
+
+    def note_created(self, request: NfsPageRequest) -> None:
+        self.dirty.append(request)
+        self.live_requests += 1
+        self.total_requests_created += 1
+
+    def note_scheduled(self, request: NfsPageRequest, now: int) -> None:
+        request.state = RequestState.SCHEDULED
+        request.scheduled_at = now
+        self.writes_in_flight += 1
+
+    def note_unstable(self, request: NfsPageRequest) -> None:
+        request.state = RequestState.UNSTABLE
+        self.writes_in_flight -= 1
+        self.unstable.append(request)
+        self.unstable_bytes += request.nbytes
+
+    def note_write_done(self, request: NfsPageRequest, now: int) -> None:
+        request.state = RequestState.DONE
+        request.completed_at = now
+        self.writes_in_flight -= 1
+        self.live_requests -= 1
+
+    def note_committed(self, request: NfsPageRequest, now: int) -> None:
+        request.state = RequestState.DONE
+        request.completed_at = now
+        self.live_requests -= 1
+        self.unstable_bytes -= request.nbytes

@@ -1,0 +1,102 @@
+"""NFS page write requests (``struct nfs_page``).
+
+The VFS hands the NFS client page-sized segments; each becomes a write
+request tracked on its inode until the data is stable on the server.
+Requests move through::
+
+    DIRTY ──schedule──▶ SCHEDULED ──UNSTABLE reply──▶ UNSTABLE ──COMMIT──▶ DONE
+                              └──────FILE_SYNC reply────────────────────▶ DONE
+
+Every live request pins one page of client memory (its page cache page)
+— eight further bytes of hash-table linkage is the memory price of the
+paper's index patch (§3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..units import PAGE_SIZE
+
+__all__ = ["RequestState", "NfsPageRequest"]
+
+
+class RequestState(enum.Enum):
+    DIRTY = "dirty"
+    SCHEDULED = "scheduled"
+    UNSTABLE = "unstable"
+    DONE = "done"
+
+
+class NfsPageRequest:
+    """One page-granular pending write."""
+
+    __slots__ = (
+        "fileid",
+        "page_index",
+        "offset_in_page",
+        "nbytes",
+        "state",
+        "created_at",
+        "scheduled_at",
+        "completed_at",
+    )
+
+    def __init__(
+        self,
+        fileid: int,
+        page_index: int,
+        offset_in_page: int,
+        nbytes: int,
+        created_at: int,
+    ):
+        if not 0 <= offset_in_page < PAGE_SIZE:
+            raise ValueError(f"offset_in_page {offset_in_page} out of range")
+        if not 0 < nbytes <= PAGE_SIZE - offset_in_page:
+            raise ValueError(f"nbytes {nbytes} does not fit the page")
+        self.fileid = fileid
+        self.page_index = page_index
+        self.offset_in_page = offset_in_page
+        self.nbytes = nbytes
+        self.state = RequestState.DIRTY
+        self.created_at = created_at
+        self.scheduled_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+
+    @property
+    def live(self) -> bool:
+        return self.state is not RequestState.DONE
+
+    @property
+    def file_offset(self) -> int:
+        return self.page_index * PAGE_SIZE + self.offset_in_page
+
+    def can_extend(self, offset_in_page: int, nbytes: int) -> bool:
+        """Can ``[offset, offset+nbytes)`` merge into this request?
+
+        Only DIRTY requests can grow, and only when the byte ranges
+        touch or overlap — disjoint ranges on one page would break write
+        ordering ("the client usually caches only a single write request
+        per page", §3.4).
+        """
+        if self.state is not RequestState.DIRTY:
+            return False
+        new_end = offset_in_page + nbytes
+        cur_end = self.offset_in_page + self.nbytes
+        return not (new_end < self.offset_in_page or offset_in_page > cur_end)
+
+    def extend(self, offset_in_page: int, nbytes: int) -> None:
+        """Merge a touching/overlapping range into this request."""
+        if not self.can_extend(offset_in_page, nbytes):
+            raise ValueError("cannot extend with a disjoint or frozen range")
+        new_start = min(self.offset_in_page, offset_in_page)
+        new_end = max(self.offset_in_page + self.nbytes, offset_in_page + nbytes)
+        self.offset_in_page = new_start
+        self.nbytes = new_end - new_start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NfsPageRequest file={self.fileid} page={self.page_index} "
+            f"[{self.offset_in_page},+{self.nbytes}) {self.state.value}>"
+        )

@@ -1,0 +1,44 @@
+"""The request-index interface both implementations share.
+
+An index answers "is there already a write request for this page of
+this file?" — the question ``nfs_find_request`` / ``nfs_update_request``
+ask twice per page (§3.4).  Implementations return the *simulated* CPU
+cost of each operation alongside the result, so the write path can
+charge exactly what the modelled data structure would have cost, while
+the Python-level structures stay efficient.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .request import NfsPageRequest
+
+__all__ = ["RequestIndex"]
+
+
+class RequestIndex:
+    """Abstract index over live page requests."""
+
+    #: Human-readable name used in reports.
+    kind = "abstract"
+
+    def peek(self, fileid: int, page_index: int) -> Optional[NfsPageRequest]:
+        """Costless Python-level lookup (models the page-cache pointer,
+        which locates the page without walking NFS lists)."""
+        raise NotImplementedError  # pragma: no cover
+
+    def find(self, fileid: int, page_index: int) -> Tuple[Optional[NfsPageRequest], int]:
+        """Search; returns ``(request_or_None, simulated_cost_ns)``."""
+        raise NotImplementedError  # pragma: no cover
+
+    def insert(self, request: NfsPageRequest) -> int:
+        """Add a request; returns the simulated cost in ns."""
+        raise NotImplementedError  # pragma: no cover
+
+    def remove(self, request: NfsPageRequest) -> int:
+        """Drop a request; returns the simulated cost in ns."""
+        raise NotImplementedError  # pragma: no cover
+
+    def __len__(self) -> int:
+        raise NotImplementedError  # pragma: no cover

@@ -1,0 +1,54 @@
+"""The paper's named client builds.
+
+The paper improves the 2.4.4 client in three cumulative steps, each
+isolated here as a configuration:
+
+========== ================= ============ ======================
+variant    threshold flushes index        BKL around sock_sendmsg
+========== ================= ============ ======================
+stock      yes (192/256)     sorted list  held
+noflush    no                sorted list  held
+hashtable  no                hash table   held
+nolock     no                hash table   released
+========== ================= ============ ======================
+
+``enhanced`` is an alias for ``nolock`` — the fully patched client of
+Figs. 6 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import NfsClientConfig
+from ..errors import ConfigError
+
+__all__ = ["VARIANTS", "variant_config", "VARIANT_ORDER"]
+
+VARIANTS: Dict[str, NfsClientConfig] = {
+    "stock": NfsClientConfig(
+        eager_flush_limits=True, hashtable_index=False, release_bkl_for_send=False
+    ),
+    "noflush": NfsClientConfig(
+        eager_flush_limits=False, hashtable_index=False, release_bkl_for_send=False
+    ),
+    "hashtable": NfsClientConfig(
+        eager_flush_limits=False, hashtable_index=True, release_bkl_for_send=False
+    ),
+    "nolock": NfsClientConfig(
+        eager_flush_limits=False, hashtable_index=True, release_bkl_for_send=True
+    ),
+}
+VARIANTS["enhanced"] = VARIANTS["nolock"]
+
+#: Paper-order progression for sweeps and reports.
+VARIANT_ORDER = ["stock", "noflush", "hashtable", "nolock"]
+
+
+def variant_config(name: str) -> NfsClientConfig:
+    """Look up a named variant; raises ConfigError on unknown names."""
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        known = ", ".join(sorted(VARIANTS))
+        raise ConfigError(f"unknown client variant {name!r} (known: {known})") from None

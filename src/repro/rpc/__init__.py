@@ -1,0 +1,23 @@
+"""SunRPC over UDP: client transport, rpciod, and server dispatch."""
+
+from .messages import (
+    RPC_CALL_HEADER,
+    RPC_REPLY_HEADER,
+    RpcCall,
+    RpcError,
+    RpcReply,
+)
+from .server import RpcServer
+from .xprt import PendingRequest, TransportStats, UdpTransport
+
+__all__ = [
+    "RpcCall",
+    "RpcReply",
+    "RpcError",
+    "RPC_CALL_HEADER",
+    "RPC_REPLY_HEADER",
+    "UdpTransport",
+    "PendingRequest",
+    "TransportStats",
+    "RpcServer",
+]

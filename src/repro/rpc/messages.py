@@ -1,0 +1,58 @@
+"""SunRPC message records.
+
+Only the fields that drive timing and matching are modelled: xids for
+reply matching, wire sizes for link occupancy and fragmentation, and an
+opaque ``args``/``result`` payload interpreted by the bound program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RpcCall", "RpcReply", "RPC_CALL_HEADER", "RPC_REPLY_HEADER"]
+
+#: Bytes of RPC+credential header on a call, on top of procedure args.
+RPC_CALL_HEADER = 72
+#: Bytes of RPC header on a reply, on top of procedure results.
+RPC_REPLY_HEADER = 48
+
+
+@dataclass
+class RpcCall:
+    """One RPC call as it crosses the wire."""
+
+    xid: int
+    prog: str
+    proc: str
+    args: Any
+    #: UDP payload bytes (header + encoded arguments + inline data).
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < RPC_CALL_HEADER:
+            self.size = RPC_CALL_HEADER
+
+
+@dataclass
+class RpcReply:
+    """The matching reply."""
+
+    xid: int
+    result: Any
+    size: int = field(default=RPC_REPLY_HEADER)
+
+    def __post_init__(self) -> None:
+        if self.size < RPC_REPLY_HEADER:
+            self.size = RPC_REPLY_HEADER
+
+    @property
+    def is_error(self) -> bool:
+        return isinstance(self.result, RpcError)
+
+
+@dataclass
+class RpcError:
+    """An error result (accept-stat != SUCCESS / NFS error status)."""
+
+    message: str

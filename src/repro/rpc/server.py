@@ -1,0 +1,91 @@
+"""Server-side RPC dispatch.
+
+Binds a program handler to a UDP port, runs a bounded pool of service
+threads (knfsd-style), and keeps a duplicate-request cache so UDP
+retransmissions are answered from cache instead of re-executed — NFS
+WRITEs are not idempotent against a moving file size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generator, Tuple
+
+from ..net.host import Host
+from ..sim import Semaphore
+from .messages import RpcCall, RpcError, RpcReply
+
+__all__ = ["RpcServer"]
+
+#: Duplicate request cache entries retained.
+DRC_SIZE = 1024
+
+#: Sentinel stored in the DRC while a request is still executing.
+_IN_PROGRESS = object()
+
+
+class RpcServer:
+    """One RPC program served from a host's UDP port."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        handler: Callable[[RpcCall], Generator],
+        nthreads: int = 8,
+        name: str = "rpcserver",
+    ):
+        self.host = host
+        self.sock = host.udp.socket(port)
+        self.handler = handler
+        self.name = name
+        self._threads = Semaphore(host.sim, nthreads, name=f"{name}-threads")
+        self.requests_handled = 0
+        self.drc_hits = 0
+        self.errors = 0
+        self._drc: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
+        self._accept = host.sim.spawn(
+            self._accept_loop(), name=f"{name}-accept", daemon=True
+        )
+
+    def _accept_loop(self):
+        while True:
+            dgram = yield from self.sock.recv()
+            call = dgram.payload
+            key = (dgram.src, call.xid)
+            cached = self._drc.get(key)
+            if cached is _IN_PROGRESS:
+                continue  # retransmit of an executing request: drop
+            if cached is not None:
+                self.drc_hits += 1
+                reply = cached
+                self.sock.sendto(dgram.src, dgram.src_port, reply, reply.size)
+                continue
+            self._remember(key, _IN_PROGRESS)
+            self.host.sim.spawn(
+                self._serve(dgram.src, dgram.src_port, call, key),
+                name=f"{self.name}-worker",
+                daemon=True,
+            )
+
+    def _serve(self, src: str, src_port: int, call: RpcCall, key):
+        yield self._threads.acquire()
+        try:
+            result, reply_size = yield from self.handler(call)
+        except Exception as err:  # noqa: BLE001 - server must always reply
+            # A failed procedure still answers (accept-stat error) —
+            # otherwise the client would retransmit forever.
+            result, reply_size = RpcError(repr(err)), 64
+            self.errors += 1
+        finally:
+            self._threads.release()
+        reply = RpcReply(xid=call.xid, result=result, size=reply_size)
+        self._remember(key, reply)
+        self.requests_handled += 1
+        self.sock.sendto(src, src_port, reply, reply.size)
+
+    def _remember(self, key, value) -> None:
+        self._drc[key] = value
+        self._drc.move_to_end(key)
+        while len(self._drc) > DRC_SIZE:
+            self._drc.popitem(last=False)

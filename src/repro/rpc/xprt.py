@@ -1,0 +1,317 @@
+"""Client-side SunRPC transport over UDP.
+
+Models the Linux RPC transport (``xprt.c``) pieces that shape the
+paper's results:
+
+* a **slot table** bounding concurrent requests (16 in Linux),
+* a **Van Jacobson congestion window** grown on timely replies and
+  halved on retransmits,
+* a **backlog queue**: when the window is closed, new requests queue and
+  the rpciod daemon sends them as replies free slots.
+
+The division of labour is the crux of the slow-server paradox (§3.5):
+when the window is open the *submitting thread* pays the ~50 µs
+``sock_sendmsg`` cost inline; when it is closed the submitter merely
+queues (cheap) and **rpciod** pays the cost later — while holding the
+Big Kernel Lock, under the stock policy, which is what the writer then
+contends with.  A fast server keeps slots turning over rapidly, keeping
+rpciod constantly busy sending and completing; a slow server leaves the
+window full and rpciod mostly asleep, so the writer runs unimpeded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Generator, Optional
+
+from ..errors import ProtocolError
+from ..kernel.bkl import LockPolicy, NoLockPolicy
+from ..net.host import Host
+from ..net.udp import UdpSocket
+from ..sim import PRIO_KERNEL, Event
+from .messages import RpcCall, RpcReply
+
+__all__ = ["PendingRequest", "UdpTransport", "TransportStats"]
+
+
+class TransportStats:
+    """Counters the experiments and tests read."""
+
+    __slots__ = (
+        "submitted",
+        "sent_inline",
+        "sent_by_rpciod",
+        "retransmits",
+        "completed",
+        "duplicate_replies",
+        "backlog_peak",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.sent_inline = 0
+        self.sent_by_rpciod = 0
+        self.retransmits = 0
+        self.completed = 0
+        self.duplicate_replies = 0
+        self.backlog_peak = 0
+
+    @property
+    def inline_fraction(self) -> float:
+        """Fraction of first sends paid by the submitting thread."""
+        sent = self.sent_inline + self.sent_by_rpciod
+        if sent == 0:
+            return 0.0
+        return self.sent_inline / sent
+
+
+class PendingRequest:
+    """One outstanding RPC."""
+
+    __slots__ = (
+        "call",
+        "completion",
+        "on_complete",
+        "timer",
+        "timeo_ns",
+        "retries",
+        "submitted_at",
+        "first_sent_at",
+        "sent_by",
+    )
+
+    def __init__(self, sim, call: RpcCall, on_complete, timeo_ns: int):
+        self.call = call
+        self.completion = Event(sim)
+        self.on_complete = on_complete
+        self.timer = None
+        self.timeo_ns = timeo_ns
+        self.retries = 0
+        self.submitted_at = sim.now
+        self.first_sent_at: Optional[int] = None
+        self.sent_by: Optional[str] = None
+
+
+class UdpTransport:
+    """RPC client transport bound to one server address."""
+
+    #: Initial congestion window, in requests.
+    INITIAL_CWND = 2.0
+    #: Retransmit backoff ceiling.
+    MAX_TIMEO_NS = 60_000_000_000
+
+    def __init__(
+        self,
+        host: Host,
+        sock: UdpSocket,
+        server: str,
+        server_port: int,
+        slots: int = 16,
+        timeo_ns: int = 700_000_000,
+        lock_policy: Optional[LockPolicy] = None,
+        name: str = "xprt",
+    ):
+        if slots < 1:
+            raise ProtocolError(f"{name}: slot table must hold >= 1 request")
+        self.host = host
+        self.sock = sock
+        self.server = server
+        self.server_port = server_port
+        self.slots = slots
+        self.timeo_ns = timeo_ns
+        self.lock_policy = lock_policy or NoLockPolicy()
+        self.name = name
+        self.cwnd = min(self.INITIAL_CWND, float(slots))
+        self.in_flight: Dict[int, PendingRequest] = {}
+        self.backlog: Deque[PendingRequest] = deque()
+        self._retrans_queue: Deque[PendingRequest] = deque()
+        self._xid = 0
+        self.stats = TransportStats()
+        #: Wire-send timestamps (bounded), for on-the-wire smoothness
+        #: analysis — §3.3: "the latency spikes do not appear in write
+        #: requests on the wire".
+        self.send_times: Deque[int] = deque(maxlen=200_000)
+        self._sim = host.sim
+        self._kick: Optional[Event] = None
+        sock.on_deliver = self._nudge_rpciod
+        self.rpciod = self._sim.spawn(
+            self._rpciod_loop(), name=f"{name}-rpciod", daemon=True
+        )
+
+    # -- public API -------------------------------------------------------------
+
+    def next_xid(self) -> int:
+        self._xid += 1
+        return self._xid
+
+    def submit(
+        self,
+        call: RpcCall,
+        on_complete: Optional[Callable[[RpcReply], Generator]] = None,
+    ):
+        """Generator (runs in the submitter's context): start an RPC.
+
+        Returns the :class:`PendingRequest`; await ``request.completion``
+        for the reply.  If the congestion window is open the wire send
+        happens here, in the caller's context, at the caller's cost;
+        otherwise the request joins the backlog for rpciod.
+        """
+        req = PendingRequest(self._sim, call, on_complete, self.timeo_ns)
+        self.stats.submitted += 1
+        if not self.backlog and self._window_open():
+            self.in_flight[call.xid] = req
+            req.sent_by = "inline"
+            self.stats.sent_inline += 1
+            yield from self._send(req, "rpc_send_inline")
+        else:
+            self.backlog.append(req)
+            if len(self.backlog) > self.stats.backlog_peak:
+                self.stats.backlog_peak = len(self.backlog)
+            self._nudge_rpciod()
+        return req
+
+    def call_and_wait(self, call: RpcCall, on_complete=None):
+        """Generator: submit and block until the reply arrives.
+
+        Raises :class:`ProtocolError` when the server answered with an
+        error status.
+        """
+        req = yield from self.submit(call, on_complete)
+        reply = yield req.completion
+        if reply.is_error:
+            raise ProtocolError(
+                f"{self.name}: {call.proc} failed on {self.server}: "
+                f"{reply.result.message}"
+            )
+        return reply
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet completed."""
+        return len(self.in_flight) + len(self.backlog)
+
+    def max_send_gap_ns(self, up_to: Optional[int] = None) -> int:
+        """Largest quiet interval between consecutive wire sends."""
+        times = [t for t in self.send_times if up_to is None or t <= up_to]
+        if len(times) < 2:
+            return 0
+        return max(b - a for a, b in zip(times, times[1:]))
+
+    # -- window -------------------------------------------------------------------
+
+    def _window_open(self) -> bool:
+        return len(self.in_flight) < min(self.slots, max(1, int(self.cwnd)))
+
+    def _on_reply_cwnd(self) -> None:
+        if self.cwnd < self.slots:
+            self.cwnd = min(float(self.slots), self.cwnd + 1.0 / self.cwnd)
+
+    def _on_timeout_cwnd(self) -> None:
+        self.cwnd = max(1.0, self.cwnd / 2.0)
+
+    # -- wire -----------------------------------------------------------------------
+
+    def _send(self, req: PendingRequest, label: str):
+        """Generator: XDR-encode and push one call onto the wire."""
+        yield from self.host.cpus.execute(
+            self.host.costs.rpc_build, label="rpc_build", priority=PRIO_KERNEL
+        )
+
+        def wire_body():
+            cost = self.host.udp.send_cost(req.call.size)
+            yield from self.host.cpus.execute(
+                cost, label="sock_sendmsg", priority=PRIO_KERNEL
+            )
+            self.sock.sendto(self.server, self.server_port, req.call, req.call.size)
+
+        yield from self.lock_policy.wire_send(label, wire_body())
+        self.send_times.append(self._sim.now)
+        if req.first_sent_at is None:
+            req.first_sent_at = self._sim.now
+        if req.timer is not None:
+            req.timer.cancel()
+        req.timer = self._sim.schedule(req.timeo_ns, self._on_timeout, req)
+
+    def _on_timeout(self, req: PendingRequest) -> None:
+        if req.call.xid not in self.in_flight:
+            return
+        req.retries += 1
+        req.timeo_ns = min(req.timeo_ns * 2, self.MAX_TIMEO_NS)
+        self.stats.retransmits += 1
+        self._on_timeout_cwnd()
+        self._retrans_queue.append(req)
+        self._nudge_rpciod()
+
+    # -- rpciod ----------------------------------------------------------------------
+
+    def _nudge_rpciod(self) -> None:
+        if self._kick is not None and not self._kick.fired:
+            self._kick.trigger()
+
+    def _work_available(self) -> bool:
+        if self._retrans_queue or self.sock.pending:
+            return True
+        return bool(self.backlog) and self._window_open()
+
+    def _rpciod_loop(self):
+        while True:
+            if not self._work_available():
+                self._kick = Event(self._sim)
+                if self._work_available():  # arrived while we decided to sleep
+                    self._kick = None
+                    continue
+                yield self._kick
+                self._kick = None
+                continue
+            # A work burst: the daemon holds the kernel lock throughout
+            # (per policy), exactly the behaviour §3.5 blames for SMP
+            # contention.
+            yield from self.lock_policy.daemon_acquire("rpciod")
+            try:
+                while self._work_available():
+                    yield from self._work_one()
+            finally:
+                self.lock_policy.daemon_release()
+
+    def _work_one(self):
+        if self._retrans_queue:
+            req = self._retrans_queue.popleft()
+            if req.call.xid in self.in_flight:
+                yield from self._send(req, "rpc_send_retrans")
+            return
+        dgram = self.sock.try_recv()
+        if dgram is not None:
+            yield from self._handle_reply(dgram.payload)
+            return
+        if self.backlog and self._window_open():
+            req = self.backlog.popleft()
+            self.in_flight[req.call.xid] = req
+            req.sent_by = "rpciod"
+            self.stats.sent_by_rpciod += 1
+            yield from self._send(req, "rpc_send_rpciod")
+
+    def _handle_reply(self, reply: RpcReply):
+        req = self.in_flight.pop(reply.xid, None)
+        if req is None:
+            self.stats.duplicate_replies += 1
+            return
+            yield  # pragma: no cover - generator marker
+        if req.timer is not None:
+            req.timer.cancel()
+            req.timer = None
+        self._on_reply_cwnd()
+
+        def process():
+            yield from self.host.cpus.execute(
+                self.host.costs.reply_processing,
+                label="rpc_reply_processing",
+                priority=PRIO_KERNEL,
+            )
+            # Error replies bypass the completion callback: the waiter
+            # inspects reply.is_error (sync callers raise).
+            if req.on_complete is not None and not reply.is_error:
+                yield from req.on_complete(reply)
+
+        yield from self.lock_policy.critical("rpciod", process())
+        self.stats.completed += 1
+        req.completion.trigger(reply)

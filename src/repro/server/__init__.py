@@ -1,0 +1,15 @@
+"""NFS server models: the NetApp filer, Linux knfsd, and a test server."""
+
+from .base import NFS_PORT, NfsServerBase, ServerFile
+from .linux_nfsd import LinuxNfsServer
+from .netapp import NetappFiler
+from .simple import SimpleNfsServer
+
+__all__ = [
+    "NfsServerBase",
+    "ServerFile",
+    "NFS_PORT",
+    "NetappFiler",
+    "LinuxNfsServer",
+    "SimpleNfsServer",
+]

@@ -1,0 +1,163 @@
+"""The four-way Linux 2.4.4 knfsd server.
+
+WRITEs land UNSTABLE in the server's page cache (fast to accept, but the
+client must keep its pages pinned until COMMIT); a background bdflush
+writes dirty data to the single SCSI disk; COMMIT forces the file's
+remaining dirty bytes out and replies only when durable.  The gigabit
+NIC sits in a 32-bit/33 MHz PCI slot, capping sustained network ingest
+around 26 MBps (§3.1, §3.5).
+"""
+
+from __future__ import annotations
+
+from ..config import LinuxServerConfig, NetConfig
+from ..hw import Disk
+from ..net import Switch
+from ..nfs3 import Stable, WriteArgs
+from ..sim import Event, Simulator, WaitQueue
+from ..units import MIB
+from .base import NfsServerBase, ServerFile
+
+__all__ = ["LinuxNfsServer"]
+
+#: bdflush write-out granularity.
+FLUSH_CHUNK = 1 * MIB
+
+
+class LinuxNfsServer(NfsServerBase):
+    """knfsd model: UNSTABLE page-cache writes + COMMIT to one spindle."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: Switch,
+        net: NetConfig,
+        config: LinuxServerConfig = LinuxServerConfig(),
+    ):
+        super().__init__(
+            sim,
+            switch,
+            net,
+            name=config.name,
+            ingest_bytes_per_sec=config.ingest_bytes_per_sec,
+            ncpus=4,
+        )
+        self.config = config
+        self.disk = Disk(
+            sim,
+            transfer_bytes_per_sec=config.disk_bytes_per_sec,
+            seek_ns=config.disk_seek_ns,
+            name=f"{config.name}-disk",
+        )
+        self.total_dirty = 0
+        #: Server page cache is effectively its RAM minus the kernel.
+        self.dirty_limit = int(config.ram_bytes * 0.8)
+        self._dirty_waitq = WaitQueue(sim, f"{config.name}-dirty")
+        self._bdflush_kick = Event(sim)
+        self._gathers = {}
+        self.gathers_started = 0
+        self.sim.spawn(self._bdflush(), name=f"{config.name}-bdflush", daemon=True)
+
+    # -- WRITE ---------------------------------------------------------------
+
+    def store_write(self, file: ServerFile, args: WriteArgs):
+        # Throttle if the server's own page cache is saturated.
+        yield from self._dirty_waitq.wait_until(
+            lambda: self.total_dirty + args.count <= self.dirty_limit
+        )
+        file.dirty_bytes += args.count
+        self.total_dirty += args.count
+        self._kick_bdflush()
+        if args.stable >= Stable.DATA_SYNC:
+            # Synchronous (NFSv2 / O_SYNC) write: data plus the inode
+            # update must hit the platter before the reply — each one
+            # costs a seek, the classic v2 write-throughput killer (cf.
+            # the filer's no_atime_update option, §3.1).
+            if self.config.write_gathering:
+                yield from self._gathered_sync(file)
+            else:
+                yield from self._flush_file(file, seek_first=True)
+            return Stable.FILE_SYNC
+        return Stable.UNSTABLE
+
+    def _gathered_sync(self, file: ServerFile):
+        """Generator: knfsd write gathering — park this sync write for a
+        moment so others to the same file share one seek+flush."""
+        gather = self._gathers.get(file.fileid)
+        if gather is None:
+            gather = Event(self.sim)
+            self._gathers[file.fileid] = gather
+            self.sim.spawn(
+                self._gather_flush(file, gather),
+                name=f"{self.name}-gather",
+                daemon=True,
+            )
+            self.gathers_started += 1
+        yield gather
+
+    def _gather_flush(self, file: ServerFile, gather: Event):
+        yield self.sim.timeout(self.config.gather_ns)
+        del self._gathers[file.fileid]
+        yield from self._flush_file(file, seek_first=True)
+        gather.trigger()
+
+    def do_commit(self, file: ServerFile):
+        yield from self._flush_file(file)
+
+    def read_media(self, file: ServerFile, offset: int, count: int):
+        # Files that fit the server's page cache serve from RAM; larger
+        # ones hit the single spindle.
+        if file.size > self.dirty_limit:
+            yield from self.disk.read(count, sequential=True)
+
+    # -- disk write-back ----------------------------------------------------------
+
+    def _flush_file(self, file: ServerFile, seek_first: bool = False):
+        """Generator: force this file's dirty bytes to the platter.
+
+        ``seek_first`` charges one head seek for the inode/metadata
+        update preceding the data (synchronous-write semantics).
+        """
+        first = True
+        while file.dirty_bytes > 0:
+            chunk = min(file.dirty_bytes, FLUSH_CHUNK)
+            # Claim before the disk wait so bdflush doesn't double-write.
+            file.dirty_bytes -= chunk
+            self.total_dirty -= chunk
+            sequential = not (seek_first and first)
+            first = False
+            yield from self.disk.write(chunk, sequential=sequential)
+            file.stable_bytes += chunk
+            self._dirty_waitq.wake_all()
+
+    def _kick_bdflush(self) -> None:
+        if not self._bdflush_kick.fired:
+            self._bdflush_kick.trigger()
+
+    def _bdflush(self):
+        """Background write-out once dirty data accumulates."""
+        background = self.dirty_limit // 2
+        while True:
+            if self.total_dirty > background:
+                victim = self._dirtiest_file()
+                if victim is not None:
+                    chunk = min(victim.dirty_bytes, FLUSH_CHUNK)
+                    victim.dirty_bytes -= chunk
+                    self.total_dirty -= chunk
+                    yield from self.disk.write(chunk, sequential=True)
+                    victim.stable_bytes += chunk
+                    self._dirty_waitq.wake_all()
+                    continue
+            self._bdflush_kick = Event(self.sim)
+            if self.total_dirty > background:
+                self._bdflush_kick.trigger()
+            yield self._bdflush_kick
+
+    def _dirtiest_file(self):
+        best = None
+        for file in self.files.values():
+            if file.dirty_bytes > 0 and (
+                best is None or file.dirty_bytes > best.dirty_bytes
+            ):
+                best = file
+        return best

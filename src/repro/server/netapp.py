@@ -1,0 +1,116 @@
+"""The prototype Network Appliance F85 filer.
+
+Behavioural essentials from the paper:
+
+* Writes are journalled to **NVRAM** and acknowledged ``FILE_SYNC`` —
+  no COMMIT needed (§3.5), and the NVRAM effectively extends the
+  client's page cache (§3.6).
+* NVRAM is split into two halves.  When the active half fills, WAFL
+  takes a **checkpoint**: the halves swap and the full one drains to the
+  RAID-4 volume.  The prototype "briefly stops responding to network
+  write requests during a file system checkpoint" (§3.5) — the cause of
+  Fig. 4's low-jitter gap — modelled as a request-processing pause at
+  checkpoint start.
+* If the inactive half has not finished draining when the active half
+  fills (sustained overload), incoming writes wait: throughput becomes
+  drain-bound.
+"""
+
+from __future__ import annotations
+
+from ..config import FilerConfig, NetConfig
+from ..errors import ResourceError
+from ..hw import RaidGroup
+from ..net import Switch
+from ..nfs3 import Stable, WriteArgs
+from ..sim import Simulator, WaitQueue
+from .base import NfsServerBase, ServerFile
+
+__all__ = ["NetappFiler"]
+
+
+class NetappFiler(NfsServerBase):
+    """F85 model: NVRAM halves + checkpoint pauses + RAID-4 drain."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: Switch,
+        net: NetConfig,
+        config: FilerConfig = FilerConfig(),
+    ):
+        super().__init__(
+            sim,
+            switch,
+            net,
+            name=config.name,
+            ingest_bytes_per_sec=config.ingest_bytes_per_sec,
+            ncpus=1,
+        )
+        self.config = config
+        self.half_size = config.nvram_bytes // 2
+        if self.half_size <= 0:
+            raise ResourceError("NVRAM too small to halve")
+        self.raid = RaidGroup(
+            sim, ndisks=8, per_disk_bytes_per_sec=config.raid_drain_bytes_per_sec / 7,
+            name=f"{config.name}-raid",
+        )
+        self.active_half_used = 0
+        self.draining = False
+        self._drain_waitq = WaitQueue(sim, f"{config.name}-nvram-wait")
+        self.checkpoints = 0
+        #: (start_ns, end_ns) of each request-processing pause.
+        self.checkpoint_windows = []
+
+    # -- WRITE --------------------------------------------------------------
+
+    def store_write(self, file: ServerFile, args: WriteArgs):
+        if args.count > self.half_size:
+            raise ResourceError(
+                f"{self.name}: write {args.count} exceeds an NVRAM half"
+            )
+        if self.active_half_used + args.count > self.half_size:
+            # Active half is full: checkpoint. If the previous one is
+            # still draining we are drain-bound and must wait for it.
+            yield from self._drain_waitq.wait_until(lambda: not self.draining)
+            self._begin_checkpoint()
+        self.active_half_used += args.count
+        file.dirty_bytes = 0  # NVRAM-stable immediately
+        file.stable_bytes = max(file.stable_bytes, args.offset + args.count)
+        return Stable.FILE_SYNC
+
+    def do_commit(self, file: ServerFile):
+        # Everything acknowledged is already FILE_SYNC: COMMIT is a no-op.
+        return
+        yield  # pragma: no cover - generator marker
+
+    #: Filer read-cache budget (256 MB RAM, §3.1).
+    READ_CACHE_BYTES = 256 * 1024 * 1024
+
+    def read_media(self, file: ServerFile, offset: int, count: int):
+        if file.size > self.READ_CACHE_BYTES:
+            yield from self.raid.read(count, sequential=True)
+
+    # -- checkpoint machinery ----------------------------------------------------
+
+    def _begin_checkpoint(self) -> None:
+        self.checkpoints += 1
+        full_half = self.active_half_used
+        self.active_half_used = 0
+        self.draining = True
+        # The prototype stops servicing requests briefly at CP start.
+        self.pause()
+        start = self.sim.now
+        self.sim.schedule(self.config.checkpoint_pause_ns, self._end_pause, start)
+        self.sim.spawn(
+            self._drain(full_half), name=f"{self.name}-cp-drain", daemon=True
+        )
+
+    def _end_pause(self, started_at: int) -> None:
+        self.checkpoint_windows.append((started_at, self.sim.now))
+        self.resume()
+
+    def _drain(self, nbytes: int):
+        yield from self.raid.write(nbytes, sequential=True)
+        self.draining = False
+        self._drain_waitq.wake_all()

@@ -1,0 +1,45 @@
+"""A minimal parametric NFS server for tests and ablations.
+
+Serves WRITEs at a configurable ingest rate and acknowledges them at a
+configurable stability level, with free COMMITs.  Useful as the
+"memory-only server" the paper considered (and rejected) in §2.3, as an
+infinitely slow server (pause it), or wherever a controlled counterpart
+is needed.
+"""
+
+from __future__ import annotations
+
+from ..config import NetConfig
+from ..nfs3 import Stable, WriteArgs
+from ..net import Switch
+from ..sim import Simulator
+from .base import NfsServerBase, ServerFile
+
+__all__ = ["SimpleNfsServer"]
+
+
+class SimpleNfsServer(NfsServerBase):
+    """Ingest-rate-limited server with no storage behind it."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: Switch,
+        net: NetConfig,
+        ingest_bytes_per_sec: float,
+        stable_level: Stable = Stable.FILE_SYNC,
+        name: str = "simple-server",
+    ):
+        super().__init__(
+            sim, switch, net, name=name, ingest_bytes_per_sec=ingest_bytes_per_sec
+        )
+        self.stable_level = stable_level
+
+    def store_write(self, file: ServerFile, args: WriteArgs):
+        file.stable_bytes = max(file.stable_bytes, args.offset + args.count)
+        return self.stable_level
+        yield  # pragma: no cover - generator marker
+
+    def do_commit(self, file: ServerFile):
+        return
+        yield  # pragma: no cover - generator marker

@@ -1,0 +1,150 @@
+"""Deterministic discrete-event simulation core.
+
+The :class:`Simulator` owns an integer-nanosecond clock and a binary-heap
+event queue.  Events scheduled for the same instant fire in the order
+they were scheduled (a monotonically increasing sequence number breaks
+ties), which makes every run bit-for-bit reproducible.
+
+Simulated concurrency is expressed with generator-based tasks (see
+:mod:`repro.sim.task`); the core only knows about timed callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["Simulator", "EventHandle"]
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled callback."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, fn: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with an integer-nanosecond virtual clock."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._queue: List[Tuple[int, int, EventHandle]] = []
+        self._running = False
+        #: The task currently being stepped (set by :class:`~repro.sim.task.Task`).
+        self.current_task: Optional[object] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` nanoseconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute simulated ``time`` nanoseconds."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now={self._now})"
+            )
+        handle = EventHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, handle))
+        return handle
+
+    # -- task support -------------------------------------------------------
+
+    def spawn(self, generator, name: Optional[str] = None, daemon: bool = False):
+        """Start a generator-based task.  See :class:`repro.sim.task.Task`."""
+        from .task import Task
+
+        return Task(self, generator, name=name, daemon=daemon)
+
+    def timeout(self, delay: int):
+        """A waitable that fires after ``delay`` nanoseconds."""
+        from .task import Timeout
+
+        return Timeout(self, delay)
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time at which processing stopped.  When
+        ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, handle = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                self._now = time
+                handle.fn(*handle.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_for(self, duration: int) -> int:
+        """Process events for ``duration`` nanoseconds of simulated time."""
+        return self.run(until=self._now + duration)
+
+    def run_until(self, predicate: Callable[[], bool], limit: Optional[int] = None) -> int:
+        """Process events until ``predicate()`` is true or the queue drains.
+
+        Needed because perpetual daemons (flush daemons, rpciod timers)
+        keep the queue non-empty forever; callers typically wait for a
+        foreground task: ``sim.run_until(lambda: task.done)``.
+        An optional absolute-time ``limit`` guards against wedged runs.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        try:
+            while not predicate() and self._queue:
+                time, _seq, handle = heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                if limit is not None and time > limit:
+                    self._now = limit
+                    raise SimulationError(
+                        f"run_until hit the time limit at {limit} ns"
+                    )
+                self._now = time
+                handle.fn(*handle.args)
+        finally:
+            self._running = False
+        return self._now
+
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events.  Mostly for tests."""
+        return len(self._queue)

@@ -1,0 +1,32 @@
+"""Named deterministic random-number streams.
+
+Every stochastic model component draws from its own named stream, so
+adding randomness to one component never perturbs another — runs stay
+comparable across configurations, the property the paper's single-run
+methodology depends on (§2.2).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """Factory for independent :class:`random.Random` streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream for ``name`` (created on first use)."""
+        rng = self._streams.get(name)
+        if rng is None:
+            derived = (self.seed << 32) ^ zlib.crc32(name.encode("utf-8"))
+            rng = random.Random(derived)
+            self._streams[name] = rng
+        return rng

@@ -1,0 +1,118 @@
+"""Units and unit conversions used throughout the simulation.
+
+Simulated time is kept as an integer number of nanoseconds.  Integer time
+makes the event queue deterministic (no floating-point tie ambiguity) and
+survives arbitrarily long runs without precision loss.
+
+Data sizes are plain integers (bytes).  Rates are floats in bytes per
+second.  The paper reports throughput in "MBps"; its figure axes are in
+KB/sec with decimal prefixes, so we use decimal megabytes (1 MB = 10**6
+bytes) when formatting throughput, matching the paper's convention.
+"""
+
+from __future__ import annotations
+
+# --- time ----------------------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(value * NS_PER_SEC))
+
+
+def to_us(ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return ns / NS_PER_US
+
+
+def to_ms(ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds."""
+    return ns / NS_PER_MS
+
+
+def to_seconds(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return ns / NS_PER_SEC
+
+
+# --- data sizes ----------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * 1024
+KB = 1000
+MB = 1000 * 1000
+
+#: Page size of the simulated client (Linux/x86).
+PAGE_SIZE = 4096
+
+
+def kib(value: float) -> int:
+    """Convert binary kilobytes to bytes."""
+    return int(round(value * KIB))
+
+
+def mib(value: float) -> int:
+    """Convert binary megabytes to bytes."""
+    return int(round(value * MIB))
+
+
+def pages(nbytes: int) -> int:
+    """Number of pages covering ``nbytes`` (rounded up)."""
+    return -(-nbytes // PAGE_SIZE)
+
+
+# --- rates ---------------------------------------------------------------
+
+
+def mbps(value: float) -> float:
+    """Convert decimal megabytes/second to bytes/second."""
+    return value * MB
+
+
+def gbit(value: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return value * 1e9 / 8
+
+
+def mbit(value: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return value * 1e6 / 8
+
+
+def to_mbps(bytes_per_sec: float) -> float:
+    """Convert bytes/second to decimal megabytes/second."""
+    return bytes_per_sec / MB
+
+
+def transfer_time(nbytes: int, bytes_per_sec: float) -> int:
+    """Nanoseconds needed to move ``nbytes`` at ``bytes_per_sec``.
+
+    Always at least 1 ns for a non-empty transfer so that events keep
+    strictly advancing time.
+    """
+    if nbytes <= 0:
+        return 0
+    if bytes_per_sec <= 0:
+        raise ValueError("bytes_per_sec must be positive")
+    return max(1, int(round(nbytes * NS_PER_SEC / bytes_per_sec)))
+
+
+def throughput(nbytes: int, elapsed_ns: int) -> float:
+    """Bytes per second achieved moving ``nbytes`` in ``elapsed_ns``."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return nbytes * NS_PER_SEC / elapsed_ns

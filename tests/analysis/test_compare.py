@@ -1,0 +1,30 @@
+"""Tests for the paper-vs-measured comparison records."""
+
+from repro.analysis import Comparison
+
+
+def test_all_passed_logic():
+    comparison = Comparison("test")
+    comparison.add("a", True, paper="1", measured="1")
+    assert comparison.all_passed
+    comparison.add("b", False, paper="2", measured="3")
+    assert not comparison.all_passed
+    assert [c.name for c in comparison.failed()] == ["b"]
+
+
+def test_render_contains_verdicts():
+    comparison = Comparison("exp")
+    comparison.add("good", True, paper="x", measured="x")
+    comparison.add("bad", False, paper="y", measured="z", note="why")
+    text = comparison.render()
+    assert "[PASS] good" in text
+    assert "[FAIL] bad" in text
+    assert "(why)" in text
+    assert "SOME CRITERIA FAILED" in text
+    assert "(1/2)" in text
+
+
+def test_truthiness_coercion():
+    comparison = Comparison("exp")
+    comparison.add("numeric", 1, paper="", measured="")
+    assert comparison.checks[0].passed is True

@@ -1,0 +1,73 @@
+"""Tests for analysis statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    linear_slope,
+    mean,
+    percentile,
+    ratio,
+    stddev,
+    windowed_jitter,
+)
+
+
+def test_mean_and_stddev():
+    assert mean([]) == 0.0
+    assert mean([2, 4, 6]) == 4.0
+    assert stddev([5]) == 0.0
+    assert stddev([2, 4]) == pytest.approx(2 ** 0.5)
+
+
+def test_percentile():
+    values = list(range(1, 101))
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 100
+    assert percentile(values, 50) == pytest.approx(50.5)
+    assert percentile([], 50) == 0.0
+    assert percentile([7], 99) == 7
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_linear_slope():
+    assert linear_slope([1, 2, 3, 4]) == pytest.approx(1.0)
+    assert linear_slope([5, 5, 5]) == 0.0
+    assert linear_slope([4, 3, 2, 1]) == pytest.approx(-1.0)
+    assert linear_slope([7]) == 0.0
+
+
+def test_windowed_jitter():
+    values = [10, 10, 10, 10, 1, 20, 1, 20]
+    windows = windowed_jitter(values, 4)
+    assert len(windows) == 2
+    assert windows[0][1] == 0.0
+    assert windows[1][1] > 5
+    with pytest.raises(ValueError):
+        windowed_jitter(values, 1)
+
+
+def test_ratio_zero_safe():
+    assert ratio(10, 5) == 2.0
+    assert ratio(1, 0) == float("inf")
+    assert ratio(0, 0) == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=100))
+@settings(max_examples=80, deadline=None)
+def test_percentile_monotone(values):
+    assert percentile(values, 25) <= percentile(values, 75)
+    assert min(values) <= percentile(values, 50) <= max(values)
+
+
+@given(
+    st.floats(min_value=-100, max_value=100),
+    st.floats(min_value=-50, max_value=50),
+    st.integers(min_value=3, max_value=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_linear_slope_recovers_exact_lines(intercept, slope, n):
+    ys = [intercept + slope * x for x in range(n)]
+    assert linear_slope(ys) == pytest.approx(slope, abs=1e-6)

@@ -1,0 +1,84 @@
+"""Tests for the Bonnie-derived benchmark itself."""
+
+import pytest
+
+from repro.bench import TestBed
+from repro.config import NfsClientConfig
+from repro.errors import ConfigError
+from repro.units import MB
+
+
+def test_three_phase_throughput_ordering():
+    """write >= flush >= close cumulative throughput, by construction."""
+    bed = TestBed(target="netapp", client="hashtable")
+    result = bed.run_sequential_write(2 * MB)
+    assert result.write_throughput >= result.flush_throughput
+    assert result.flush_throughput >= result.close_throughput
+    assert result.write_elapsed_ns <= result.flush_elapsed_ns <= result.close_elapsed_ns
+
+
+def test_call_count_matches_chunking():
+    bed = TestBed(target="netapp", client="hashtable")
+    result = bed.run_sequential_write(1 * MB, chunk_bytes=8192)
+    assert len(result.trace) == -(-1 * MB // 8192)  # ceil: tail call too
+
+
+def test_odd_chunk_sizes():
+    bed = TestBed(target="netapp", client="hashtable")
+    result = bed.run_sequential_write(100_000, chunk_bytes=12_000)
+    # ceil(100000/12000) = 9 calls, last one short.
+    assert len(result.trace) == 9
+
+
+def test_skip_fsync():
+    bed = TestBed(target="local", client="stock")
+    result = bed.run_sequential_write(1 * MB, do_fsync=False)
+    assert result.flush_elapsed_ns == result.write_elapsed_ns or (
+        result.flush_elapsed_ns - result.write_elapsed_ns < 100_000
+    )
+
+
+def test_summary_text():
+    bed = TestBed(target="netapp", client="hashtable")
+    result = bed.run_sequential_write(1 * MB)
+    text = result.summary()
+    assert "MBps" in text
+    assert "write" in text
+
+
+def test_invalid_sizes_rejected():
+    bed = TestBed(target="netapp", client="hashtable")
+    with pytest.raises(ConfigError):
+        bed.run_sequential_write(0)
+    from repro.bench import SequentialWriteBenchmark
+
+    with pytest.raises(ConfigError):
+        SequentialWriteBenchmark(bed.syscalls, chunk_bytes=0)
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(ConfigError):
+        TestBed(target="ramdisk")
+
+
+def test_time_limit_guards_wedged_runs():
+    bed = TestBed(target="netapp", client="hashtable")
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        bed.run_sequential_write(100 * MB, time_limit_ns=1_000_000)
+
+
+def test_determinism_identical_runs_identical_traces():
+    def one():
+        bed = TestBed(target="netapp", client="stock")
+        return bed.run_sequential_write(2 * MB).trace.latencies_ns
+
+    assert one() == one()
+
+
+def test_profile_mode_collects_samples():
+    bed = TestBed(target="netapp", client="hashtable", profile=True)
+    bed.run_sequential_write(1 * MB)
+    assert bed.profiler.total_samples > 0
+    assert bed.profiler.top(3)

@@ -1,0 +1,58 @@
+"""Tests for the Fig. 5/6-style histograms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import Histogram, latency_histogram
+from repro.bench.histogram import PAPER_BIN_WIDTH_NS, PAPER_MAX_NS
+from repro.units import us
+
+
+def test_paper_binning():
+    assert PAPER_BIN_WIDTH_NS == us(60)
+    assert PAPER_MAX_NS == us(480)
+    hist = latency_histogram([us(30), us(70), us(70), us(500)])
+    assert hist.counts[0] == 1
+    assert hist.counts[1] == 2
+    assert hist.overflow == 1
+    assert hist.total == 4
+
+
+def test_bin_edges_in_ms():
+    hist = Histogram(us(60), us(480))
+    edges = hist.bin_edges_ms()
+    assert edges[0] == 0.0
+    assert edges[1] == pytest.approx(0.06)
+    assert len(edges) == 8
+
+
+def test_mode_and_tail():
+    hist = latency_histogram([us(70)] * 10 + [us(200)] * 3)
+    assert hist.mode_bin_ms() == pytest.approx(0.06)
+    assert hist.tail_fraction(us(180)) == pytest.approx(3 / 13)
+    assert hist.tail_fraction(us(480)) == 0.0
+
+
+def test_render_contains_bars():
+    hist = latency_histogram([us(70)] * 10)
+    text = hist.render("test")
+    assert "test" in text
+    assert "#" in text
+    assert ">" in text  # overflow row
+
+
+def test_invalid_bins_rejected():
+    with pytest.raises(ValueError):
+        Histogram(0, us(480))
+    with pytest.raises(ValueError):
+        Histogram(us(60), us(100))  # not a multiple
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2_000_000), max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_histogram_conserves_samples(values):
+    hist = latency_histogram(values)
+    assert sum(hist.counts) + hist.overflow == len(values)
+    assert hist.total == len(values)
+    assert 0.0 <= hist.tail_fraction(us(120)) <= 1.0

@@ -1,0 +1,93 @@
+"""Tests for latency traces and their statistics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import LatencyTrace
+from repro.units import NS_PER_MS, us
+
+
+def make_trace(latencies, gap=us(10)):
+    trace = LatencyTrace()
+    t = 0
+    for latency in latencies:
+        trace.record(t, t + latency)
+        t += latency + gap
+    return trace
+
+
+def test_basic_stats():
+    trace = make_trace([us(100), us(200), us(300)])
+    assert len(trace) == 3
+    assert trace.mean_ns() == us(200)
+    assert trace.min_ns() == us(100)
+    assert trace.max_ns() == us(300)
+    assert trace.latencies_ns == [us(100), us(200), us(300)]
+
+
+def test_mean_with_outlier_exclusion():
+    """The paper's convention: quote means excluding >1 ms calls."""
+    trace = make_trace([us(100)] * 99 + [NS_PER_MS * 20])
+    full = trace.mean_ns()
+    healthy = trace.mean_ns(exclude_above_ns=NS_PER_MS)
+    assert healthy == us(100)
+    assert full > 2 * healthy
+
+
+def test_skip_first_matches_paper_convention():
+    trace = make_trace([us(900), us(100), us(100)])
+    assert trace.mean_ns(skip_first=1) == us(100)
+    assert trace.max_ns(skip_first=1) == us(100)
+
+
+def test_spike_detection_and_period():
+    pattern = ([us(100)] * 9 + [NS_PER_MS * 20]) * 3
+    trace = make_trace(pattern)
+    spikes = trace.spikes()
+    assert spikes == [9, 19, 29]
+    assert trace.spike_period() == 10
+    assert trace.count_above(NS_PER_MS) == 3
+
+
+def test_spike_period_needs_two_spikes():
+    trace = make_trace([us(100)] * 5 + [NS_PER_MS * 20])
+    assert trace.spike_period() is None
+
+
+def test_growth_slope_detects_trend():
+    growing = make_trace([us(100 + 2 * i) for i in range(100)])
+    flat = make_trace([us(100)] * 100)
+    assert growing.growth_slope_ns_per_call() > 1000
+    assert abs(flat.growth_slope_ns_per_call()) < 1e-6
+
+
+def test_jitter():
+    steady = make_trace([us(100)] * 50)
+    noisy = make_trace([us(100), us(300)] * 25)
+    assert steady.jitter_ns() == 0
+    assert noisy.jitter_ns() > us(90)
+
+
+def test_series_us_format():
+    trace = make_trace([us(150)])
+    assert trace.series_us() == [(0, 150.0)]
+
+
+def test_empty_trace_is_safe():
+    trace = LatencyTrace()
+    assert trace.mean_ns() == 0.0
+    assert trace.max_ns() == 0
+    assert trace.min_ns() == 0
+    assert trace.jitter_ns() == 0.0
+    assert trace.growth_slope_ns_per_call() == 0.0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**8), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_stats_invariants(latencies):
+    trace = make_trace(latencies)
+    assert trace.min_ns() <= trace.mean_ns() <= trace.max_ns()
+    assert trace.count_above(0) == len(latencies)
+    assert trace.count_above(10**9) == 0
+    healthy = trace.mean_ns(exclude_above_ns=max(latencies))
+    assert healthy <= trace.mean_ns() or len(set(latencies)) == 1

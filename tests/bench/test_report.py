@@ -1,0 +1,53 @@
+"""Tests for CSV/gnuplot export."""
+
+import csv
+import os
+
+from repro.bench import LatencyTrace, latency_histogram
+from repro.bench.report import (
+    gnuplot_script,
+    write_curve_csv,
+    write_histogram_csv,
+    write_trace_csv,
+)
+from repro.units import us
+
+
+def test_trace_csv_round_trip(tmp_path):
+    trace = LatencyTrace()
+    trace.record(0, us(100))
+    trace.record(us(200), us(350))
+    path = tmp_path / "trace.csv"
+    write_trace_csv(str(path), trace)
+    rows = list(csv.reader(open(path)))
+    assert rows[0] == ["call", "latency_ms", "start_s"]
+    assert float(rows[1][1]) == 0.1
+    assert float(rows[2][1]) == 0.15
+    assert len(rows) == 3
+
+
+def test_curve_csv(tmp_path):
+    path = tmp_path / "curves.csv"
+    write_curve_csv(str(path), [25, 50], {"local": [190, 180], "nfs": [28, 28]})
+    rows = list(csv.reader(open(path)))
+    assert rows[0] == ["size_mb", "local", "nfs"]
+    assert rows[1] == ["25", "190", "28"]
+
+
+def test_histogram_csv(tmp_path):
+    hist = latency_histogram([us(70)] * 5 + [us(600)])
+    path = tmp_path / "hist.csv"
+    write_histogram_csv(str(path), hist)
+    rows = list(csv.reader(open(path)))
+    assert rows[0] == ["bin_lower_ms", "count"]
+    assert rows[2] == ["0.06", "5"]
+    assert rows[-1] == ["0.48", "1"]  # overflow row
+
+
+def test_gnuplot_script(tmp_path):
+    script = gnuplot_script(str(tmp_path), ["a.csv", "b.csv"])
+    assert os.path.exists(script)
+    text = open(script).read()
+    assert "'a.csv'" in text
+    assert "'b.csv'" in text
+    assert "write() system calls" in text

@@ -1,0 +1,41 @@
+"""Tests for experiment data export."""
+
+import csv
+import json
+import os
+
+from repro.experiments import get_experiment
+from repro.experiments.base import export_result
+from repro.experiments.cli import run_experiments
+import io
+
+
+def test_export_fig2_artifacts(tmp_path):
+    result = get_experiment("fig2").run(quick=True)
+    paths = export_result(result, str(tmp_path))
+    names = {os.path.basename(p) for p in paths}
+    assert names == {"fig2_report.txt", "fig2_data.json", "fig2_latency.csv"}
+    data = json.load(open(tmp_path / "fig2_data.json"))
+    assert data["spikes"] >= 3
+    rows = list(csv.reader(open(tmp_path / "fig2_latency.csv")))
+    assert rows[0] == ["call", "latency_us"]
+    assert len(rows) > 100
+
+
+def test_export_fig1_curves(tmp_path):
+    result = get_experiment("fig1").run(scale=8.0, quick=True)
+    export_result(result, str(tmp_path))
+    rows = list(csv.reader(open(tmp_path / "fig1_curves.csv")))
+    assert rows[0][0] == "size_mb"
+    assert {"local", "netapp", "linux"} <= set(rows[0][1:])
+    assert len(rows) >= 4
+
+
+def test_cli_dump_dir(tmp_path):
+    out = io.StringIO()
+    ok = run_experiments(
+        ["fig2"], scale=4.0, quick=True, out=out, dump_dir=str(tmp_path)
+    )
+    assert ok
+    assert (tmp_path / "fig2_report.txt").exists()
+    assert "wrote" in out.getvalue()

@@ -1,0 +1,48 @@
+"""The experiments publish the raw data their figures need."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return get_experiment("fig2").run(quick=True)
+
+
+def test_fig2_series_matches_figure_axes(fig2_result):
+    series = fig2_result.data["series"]
+    assert series[0][0] == 0
+    assert all(latency_us > 0 for _i, latency_us in series)
+    # The series carries the spikes the figure plots.
+    assert max(latency_us for _i, latency_us in series) > 10_000
+
+
+def test_fig2_statistics_present(fig2_result):
+    data = fig2_result.data
+    assert data["spikes"] >= 3
+    assert data["mean_all_us"] > data["mean_healthy_us"]
+    assert data["inflation"] > 2
+    assert data["soft_flushes"] == data["spikes"]
+
+
+def test_fig5_histograms_and_paradox_data():
+    result = get_experiment("fig5").run(quick=True)
+    stats = result.data["stats"]
+    assert set(stats) == {"netapp", "linux"}
+    for row in stats.values():
+        assert row["hist"].total > 0
+        assert row["mean_us"] > 0
+    assert result.data["slow_server_mbps"] > stats["linux"]["mbps"]
+
+
+def test_tab1_measured_matrix():
+    result = get_experiment("tab1").run(quick=True)
+    measured = result.data["measured"]
+    assert set(measured) == {
+        "netapp/hashtable",
+        "netapp/nolock",
+        "linux/hashtable",
+        "linux/nolock",
+    }
+    assert all(v > 50 for v in measured.values())

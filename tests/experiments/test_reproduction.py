@@ -1,0 +1,23 @@
+"""Reproduction gates: every experiment's shape criteria hold.
+
+These are the paper-level integration tests.  They run each experiment
+in quick mode (smaller files / fewer sweep points — the shapes are
+preserved; see DESIGN.md §5) and require every shape criterion to pass.
+The benchmarks under benchmarks/ run the same experiments at full size.
+"""
+
+import pytest
+
+from repro.experiments import experiment_ids, get_experiment
+
+# fig1/fig7 sweeps dominate runtime; a higher scale keeps them quick.
+SCALES = {"fig1": 8.0, "fig7": 8.0}
+
+
+@pytest.mark.parametrize("experiment_id", experiment_ids())
+def test_experiment_shape_criteria(experiment_id):
+    experiment = get_experiment(experiment_id)
+    result = experiment.run(scale=SCALES.get(experiment_id, 4.0), quick=True)
+    failed = result.comparison.failed()
+    assert not failed, "failed criteria:\n" + "\n".join(c.row() for c in failed)
+    assert result.render()

@@ -1,0 +1,86 @@
+"""Unit tests for disk and RAID models."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hw import Disk, RaidGroup
+from repro.sim import Simulator
+from repro.units import seconds
+
+
+def test_sequential_write_time_is_bandwidth_bound():
+    sim = Simulator()
+    disk = Disk(sim, transfer_bytes_per_sec=1_000_000, seek_ns=5_000_000)
+
+    def worker():
+        yield from disk.write(1_000_000, sequential=True)
+
+    sim.spawn(worker())
+    end = sim.run()
+    assert end == seconds(1.0)
+    assert disk.bytes_written == 1_000_000
+
+
+def test_random_write_pays_seek():
+    sim = Simulator()
+    disk = Disk(sim, transfer_bytes_per_sec=1_000_000, seek_ns=5_000_000)
+
+    def worker():
+        yield from disk.write(1_000_000, sequential=False)
+
+    sim.spawn(worker())
+    end = sim.run()
+    assert end == seconds(1.0) + 5_000_000
+
+
+def test_disk_serialises_concurrent_ops():
+    sim = Simulator()
+    disk = Disk(sim, transfer_bytes_per_sec=1_000_000)
+    finished = []
+
+    def worker(tag):
+        yield from disk.write(500_000)
+        finished.append((tag, sim.now))
+
+    sim.spawn(worker(0))
+    sim.spawn(worker(1))
+    sim.run()
+    assert finished == [(0, seconds(0.5)), (1, seconds(1.0))]
+    assert disk.ops == 2
+
+
+def test_read_accounting():
+    sim = Simulator()
+    disk = Disk(sim, transfer_bytes_per_sec=2_000_000)
+
+    def worker():
+        yield from disk.read(1_000_000)
+
+    sim.spawn(worker())
+    sim.run()
+    assert disk.bytes_read == 1_000_000
+    assert disk.bytes_written == 0
+
+
+def test_raid_aggregates_data_spindles():
+    sim = Simulator()
+    raid = RaidGroup(sim, ndisks=9, per_disk_bytes_per_sec=1_000_000)
+    # 9 disks, one parity -> 8 data spindles worth of bandwidth.
+    assert raid.transfer_bytes_per_sec == 8_000_000
+
+    def worker():
+        yield from raid.write(8_000_000)
+
+    sim.spawn(worker())
+    end = sim.run()
+    assert end == seconds(1.0)
+
+
+def test_invalid_configs_rejected():
+    sim = Simulator()
+    with pytest.raises(ResourceError):
+        Disk(sim, transfer_bytes_per_sec=0)
+    with pytest.raises(ResourceError):
+        Disk(sim, transfer_bytes_per_sec=10, seek_ns=-1)
+    with pytest.raises(ResourceError):
+        RaidGroup(sim, ndisks=1, per_disk_bytes_per_sec=10)

@@ -1,0 +1,111 @@
+"""Unit and property tests for the memory pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ResourceError
+from repro.hw import MemoryPool
+from repro.sim import Simulator
+
+
+def test_try_alloc_and_free():
+    sim = Simulator()
+    pool = MemoryPool(sim, 100)
+    assert pool.try_alloc(60)
+    assert pool.used == 60
+    assert not pool.try_alloc(50)
+    pool.free(20)
+    assert pool.try_alloc(50)
+    assert pool.available == 10
+    assert pool.peak_used == 90
+
+
+def test_alloc_blocks_until_free():
+    sim = Simulator()
+    pool = MemoryPool(sim, 100)
+    log = []
+
+    def hog():
+        yield from pool.alloc(100)
+        yield sim.timeout(50)
+        pool.free(100)
+
+    def waiter():
+        yield sim.timeout(1)
+        yield from pool.alloc(30)
+        log.append(sim.now)
+
+    sim.spawn(hog())
+    sim.spawn(waiter())
+    sim.run()
+    assert log == [50]
+    assert pool.alloc_blocks == 1
+
+
+def test_alloc_larger_than_capacity_rejected():
+    sim = Simulator()
+    pool = MemoryPool(sim, 100)
+
+    def worker():
+        yield from pool.alloc(101)
+
+    task = sim.spawn(worker(), daemon=True)
+    sim.run()
+    assert isinstance(task.error, ResourceError)
+
+
+def test_over_free_rejected():
+    sim = Simulator()
+    pool = MemoryPool(sim, 100)
+    pool.try_alloc(10)
+    with pytest.raises(ResourceError):
+        pool.free(11)
+
+
+def test_negative_sizes_rejected():
+    sim = Simulator()
+    pool = MemoryPool(sim, 100)
+    with pytest.raises(ResourceError):
+        pool.try_alloc(-1)
+    with pytest.raises(ResourceError):
+        pool.free(-1)
+    with pytest.raises(ResourceError):
+        MemoryPool(sim, 0)
+
+
+def test_waiters_count():
+    sim = Simulator()
+    pool = MemoryPool(sim, 10)
+    pool.try_alloc(10)
+
+    def waiter():
+        yield from pool.alloc(5)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert pool.waiters == 1
+    pool.free(10)
+    sim.run()
+    assert pool.waiters == 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_usage_never_exceeds_capacity(sizes):
+    sim = Simulator()
+    pool = MemoryPool(sim, 100)
+    peaks = []
+
+    def worker(nbytes, hold):
+        yield from pool.alloc(nbytes)
+        peaks.append(pool.used)
+        yield sim.timeout(hold)
+        pool.free(nbytes)
+
+    for i, nbytes in enumerate(sizes):
+        sim.spawn(worker(nbytes, (i * 13) % 29 + 1))
+    sim.run()
+    assert all(p <= 100 for p in peaks)
+    assert pool.used == 0
+    assert pool.total_allocated == sum(sizes)

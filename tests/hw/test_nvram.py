@@ -1,0 +1,61 @@
+"""Unit tests for the NVRAM model."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hw import Nvram
+from repro.sim import Simulator
+
+
+def test_reserve_and_release():
+    sim = Simulator()
+    nv = Nvram(sim, 100)
+
+    def worker():
+        yield from nv.reserve(70)
+        assert nv.available == 30
+
+    sim.spawn(worker())
+    sim.run()
+    nv.release(70)
+    assert nv.available == 100
+    assert nv.total_in == 70
+    assert nv.peak_used == 70
+
+
+def test_reserve_blocks_when_full():
+    sim = Simulator()
+    nv = Nvram(sim, 100)
+    log = []
+
+    def filler():
+        yield from nv.reserve(100)
+
+    def drainer():
+        yield sim.timeout(100)
+        nv.release(40)
+
+    def waiter():
+        yield sim.timeout(1)
+        yield from nv.reserve(40)
+        log.append(sim.now)
+
+    sim.spawn(filler())
+    sim.spawn(drainer())
+    sim.spawn(waiter())
+    sim.run()
+    assert log == [100]
+
+
+def test_bad_reservations_rejected():
+    sim = Simulator()
+    nv = Nvram(sim, 100)
+
+    def too_big():
+        yield from nv.reserve(101)
+
+    task = sim.spawn(too_big(), daemon=True)
+    sim.run()
+    assert isinstance(task.error, ResourceError)
+    with pytest.raises(ResourceError):
+        nv.release(1)

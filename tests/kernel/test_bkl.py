@@ -1,0 +1,186 @@
+"""Tests for the BKL and the send-path lock policies."""
+
+from repro.kernel import (
+    BigKernelLock,
+    NoLockPolicy,
+    SendUnlockedPolicy,
+    StockLockPolicy,
+)
+from repro.sim import Simulator
+from repro.units import us
+
+
+def test_break_all_and_reacquire():
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+    log = []
+
+    def owner():
+        yield from bkl.acquire("outer")
+        yield from bkl.acquire("inner")
+        depth = bkl.break_all()
+        assert depth == 2
+        assert not bkl.locked
+        yield sim.timeout(us(10))
+        yield from bkl.reacquire(depth, "back")
+        assert bkl.depth == 2
+        log.append("reacquired")
+        bkl.release()
+        bkl.release()
+        assert not bkl.locked
+
+    sim.spawn(owner())
+    sim.run()
+    assert log == ["reacquired"]
+
+
+def test_break_all_by_non_owner_is_noop():
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+
+    def holder():
+        yield from bkl.acquire("h")
+        yield sim.timeout(us(10))
+        bkl.release()
+
+    def other():
+        yield sim.timeout(us(1))
+        assert bkl.break_all() == 0
+        yield from bkl.reacquire(0, "nothing")  # no-op
+
+    sim.spawn(holder())
+    sim.spawn(other())
+    sim.run()
+
+
+def test_stock_policy_serialises_sends_against_lock_holders():
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+    policy = StockLockPolicy(bkl)
+    send_done = []
+
+    def hog():
+        yield from bkl.acquire("hog")
+        yield sim.timeout(us(100))
+        bkl.release()
+
+    def sender():
+        yield sim.timeout(us(1))
+
+        def body():
+            yield sim.timeout(us(10))
+
+        yield from policy.wire_send("send", body())
+        send_done.append(sim.now)
+
+    sim.spawn(hog())
+    sim.spawn(sender())
+    sim.run()
+    # The send had to wait for the 100 µs lock hold.
+    assert send_done == [us(110)]
+
+
+def test_unlocked_policy_sends_without_the_lock():
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+    policy = SendUnlockedPolicy(bkl)
+    log = []
+
+    def sender():
+        yield from bkl.acquire("writer")
+
+        def body():
+            assert not bkl.held_by_current()
+            log.append("sent unlocked")
+            yield sim.timeout(us(10))
+
+        yield from policy.wire_send("send", body())
+        assert bkl.held_by_current()
+        assert bkl.depth == 1
+        bkl.release()
+
+    sim.spawn(sender())
+    sim.run()
+    assert log == ["sent unlocked"]
+
+
+def test_unlocked_policy_allows_writer_progress_during_send():
+    """The paper's fix: another thread can take the BKL while a send is
+    in flight."""
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+    policy = SendUnlockedPolicy(bkl)
+    progress = []
+
+    def daemon():
+        yield from bkl.acquire("daemon")
+
+        def body():
+            yield sim.timeout(us(100))  # long sock_sendmsg
+
+        yield from policy.wire_send("daemon-send", body())
+        bkl.release()
+
+    def writer():
+        yield sim.timeout(us(5))
+        yield from bkl.acquire("writer")
+        progress.append(sim.now)
+        bkl.release()
+
+    sim.spawn(daemon())
+    sim.spawn(writer())
+    sim.run()
+    # Writer got the lock during the send, not after it.
+    assert progress[0] < us(100)
+
+
+def test_stock_policy_blocks_writer_during_send():
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+    policy = StockLockPolicy(bkl)
+    progress = []
+
+    def daemon():
+        yield from bkl.acquire("daemon")
+
+        def body():
+            yield sim.timeout(us(100))
+
+        yield from policy.wire_send("daemon-send", body())
+        bkl.release()
+
+    def writer():
+        yield sim.timeout(us(5))
+        yield from bkl.acquire("writer")
+        progress.append(sim.now)
+        bkl.release()
+
+    sim.spawn(daemon())
+    sim.spawn(writer())
+    sim.run()
+    assert progress[0] >= us(100)
+
+
+def test_nolock_policy_passthrough():
+    sim = Simulator()
+    policy = NoLockPolicy()
+    log = []
+
+    def worker():
+        def body():
+            yield sim.timeout(us(1))
+            return "x"
+
+        result = yield from policy.wire_send("a", body())
+        log.append(result)
+
+        def body2():
+            yield sim.timeout(us(1))
+            return "y"
+
+        result = yield from policy.critical("b", body2())
+        log.append(result)
+
+    sim.spawn(worker())
+    sim.run()
+    assert log == ["x", "y"]

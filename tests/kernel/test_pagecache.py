@@ -1,0 +1,120 @@
+"""Tests for dirty-memory accounting and writer throttling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ResourceError
+from repro.kernel import PageCache
+from repro.sim import Simulator
+from repro.units import us
+
+
+def test_charge_and_uncharge():
+    sim = Simulator()
+    pc = PageCache(sim, dirty_limit_bytes=100, background_bytes=50)
+
+    def writer():
+        yield from pc.charge(60)
+        assert pc.dirty_bytes == 60
+        pc.uncharge(10)
+        assert pc.dirty_bytes == 50
+
+    sim.spawn(writer())
+    sim.run()
+    assert pc.peak_dirty == 60
+
+
+def test_writer_throttles_at_dirty_limit():
+    sim = Simulator()
+    pc = PageCache(sim, dirty_limit_bytes=100, background_bytes=50)
+    done = []
+
+    def writer():
+        yield from pc.charge(100)
+        yield from pc.charge(20)  # must wait for uncharge
+        done.append(sim.now)
+
+    def cleaner():
+        yield sim.timeout(us(100))
+        pc.uncharge(50)
+
+    sim.spawn(writer())
+    sim.spawn(cleaner())
+    sim.run()
+    assert done == [us(100)]
+    assert pc.throttled_count == 1
+    assert pc.throttled_ns == us(100)
+
+
+def test_pressure_listener_fires_over_background():
+    sim = Simulator()
+    pc = PageCache(sim, dirty_limit_bytes=100, background_bytes=50)
+    kicks = []
+    pc.on_pressure(lambda: kicks.append(sim.now))
+
+    def writer():
+        yield from pc.charge(40)
+        assert kicks == []
+        yield from pc.charge(40)  # crosses background threshold
+        assert kicks
+
+    sim.spawn(writer())
+    sim.run()
+
+
+def test_pressure_fires_while_blocked():
+    sim = Simulator()
+    pc = PageCache(sim, dirty_limit_bytes=100, background_bytes=50)
+    kicks = []
+    pc.on_pressure(lambda: kicks.append(sim.now))
+
+    def writer():
+        yield from pc.charge(100)
+        yield from pc.charge(1)
+
+    def cleaner():
+        yield sim.timeout(us(10))
+        pc.uncharge(100)
+
+    sim.spawn(writer())
+    sim.spawn(cleaner())
+    sim.run()
+    assert kicks  # blocked charge kicked write-back
+    assert pc.dirty_bytes == 1
+
+
+def test_bad_values_rejected():
+    sim = Simulator()
+    with pytest.raises(ResourceError):
+        PageCache(sim, dirty_limit_bytes=0, background_bytes=0)
+    with pytest.raises(ResourceError):
+        PageCache(sim, dirty_limit_bytes=10, background_bytes=20)
+    pc = PageCache(sim, dirty_limit_bytes=100, background_bytes=10)
+    with pytest.raises(ResourceError):
+        pc.uncharge(1)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_dirty_bytes_never_exceed_limit(chunks):
+    sim = Simulator()
+    pc = PageCache(sim, dirty_limit_bytes=64, background_bytes=32)
+    observed = []
+
+    def writer():
+        for chunk in chunks:
+            yield from pc.charge(min(chunk, 64))
+            observed.append(pc.dirty_bytes)
+
+    def cleaner():
+        while True:
+            yield sim.timeout(us(5))
+            if pc.dirty_bytes:
+                pc.uncharge(pc.dirty_bytes)
+
+    sim.spawn(writer())
+    sim.spawn(cleaner(), daemon=True)
+    sim.run(until=us(10_000))
+    assert all(v <= 64 for v in observed)
+    assert len(observed) == len(chunks)

@@ -1,0 +1,129 @@
+"""Tests for VFS page splitting and the syscall layer."""
+
+from repro.config import NetConfig
+from repro.kernel import SyscallLayer, VfsFile, generic_file_write, page_segments
+from repro.net import Host, Switch
+from repro.sim import Simulator
+from repro.units import PAGE_SIZE
+
+
+class RecordingFile(VfsFile):
+    """Collects commit_write calls; instant fsync/close."""
+
+    def __init__(self):
+        super().__init__(fileid=1, name="rec")
+        self.commits = []
+
+    def commit_write(self, page_index, offset_in_page, nbytes):
+        self.commits.append((page_index, offset_in_page, nbytes))
+        return
+        yield  # pragma: no cover
+
+    def fsync(self):
+        return
+        yield  # pragma: no cover
+
+    def release(self):
+        return
+        yield  # pragma: no cover
+
+
+def make_host():
+    sim = Simulator()
+    switch = Switch(sim)
+    return sim, Host(sim, "client", switch, NetConfig.gigabit(), ncpus=2)
+
+
+def test_page_segments_aligned():
+    assert page_segments(0, 8192) == [(0, 0, PAGE_SIZE), (1, 0, PAGE_SIZE)]
+
+
+def test_page_segments_unaligned():
+    segs = page_segments(PAGE_SIZE - 100, 300)
+    assert segs == [(0, PAGE_SIZE - 100, 100), (1, 0, 200)]
+    assert sum(s[2] for s in segs) == 300
+
+
+def test_page_segments_small_write():
+    assert page_segments(10, 20) == [(0, 10, 20)]
+
+
+def test_generic_file_write_splits_and_advances():
+    sim, host = make_host()
+    f = RecordingFile()
+
+    def worker():
+        yield from generic_file_write(host, f, 8192)
+        yield from generic_file_write(host, f, 8192)
+
+    sim.spawn(worker())
+    sim.run()
+    assert f.commits == [
+        (0, 0, PAGE_SIZE),
+        (1, 0, PAGE_SIZE),
+        (2, 0, PAGE_SIZE),
+        (3, 0, PAGE_SIZE),
+    ]
+    assert f.pos == 16384
+    assert f.size == 16384
+
+
+def test_copy_cost_charged_per_page():
+    sim, host = make_host()
+    f = RecordingFile()
+
+    def worker():
+        yield from generic_file_write(host, f, 8192)
+
+    sim.spawn(worker())
+    sim.run()
+    assert host.cpus.time_by_label["copy_from_user"] == 2 * host.costs.page_copy
+
+
+def test_syscall_layer_records_latency():
+    sim, host = make_host()
+    f = RecordingFile()
+    recorded = []
+
+    class Sink:
+        def record(self, start, end):
+            recorded.append(end - start)
+
+    syscalls = SyscallLayer(host, instrument=True, latency_sink=Sink())
+
+    def worker():
+        yield from syscalls.write(f, 8192)
+        yield from syscalls.fsync(f)
+        yield from syscalls.close(f)
+
+    sim.spawn(worker())
+    sim.run()
+    assert len(recorded) == 1
+    expected = (
+        host.costs.syscall_overhead
+        + 2 * host.costs.page_copy
+        + host.costs.instrumentation
+    )
+    assert recorded[0] == expected
+    assert syscalls.write_calls == 1
+    assert syscalls.bytes_written == 8192
+    assert f.closed
+
+
+def test_uninstrumented_syscalls_skip_overhead():
+    sim, host = make_host()
+    f = RecordingFile()
+    times = []
+
+    class Sink:
+        def record(self, start, end):
+            times.append(end - start)
+
+    syscalls = SyscallLayer(host, instrument=False, latency_sink=Sink())
+
+    def worker():
+        yield from syscalls.write(f, 4096)
+
+    sim.spawn(worker())
+    sim.run()
+    assert times[0] == host.costs.syscall_overhead + host.costs.page_copy

@@ -1,0 +1,78 @@
+"""Additional ext2 coverage: fsync/bdflush interplay, read-ahead."""
+
+from repro.bench import TestBed
+from repro.config import ClientHwConfig, scaled
+from repro.units import MB, PAGE_SIZE, seconds
+
+
+def drive(bed, gen):
+    task = bed.sim.spawn(gen, daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    if task.error:
+        raise task.error
+    return task.result
+
+
+def test_fsync_concurrent_with_bdflush_completes():
+    """fsync while bdflush is already writing the same file out."""
+    hw = scaled(ClientHwConfig(), 8)
+    bed = TestBed(target="local", client="stock", hw=hw)
+
+    def body():
+        file = yield from bed.ext2.open_new("f")
+        remaining = 12 * MB  # crosses the background threshold
+        while remaining:
+            chunk = min(8192, remaining)
+            yield from bed.syscalls.write(file, chunk)
+            remaining -= chunk
+        # bdflush is now racing; fsync must still drain everything.
+        yield from bed.syscalls.fsync(file)
+        return len(file.dirty_pages)
+
+    assert drive(bed, body()) == 0
+    assert bed.ext2.disk.bytes_written >= 12 * MB
+
+
+def test_aged_pages_written_back_without_pressure():
+    bed = TestBed(target="local", client="stock")
+
+    def body():
+        file = yield from bed.ext2.open_new("f")
+        yield from bed.syscalls.write(file, 64 * 1024)
+        # Far below the background threshold: only ageing flushes it.
+        yield bed.sim.timeout(seconds(35))
+        return bed.ext2.pages_written_back
+
+    written = drive(bed, body())
+    assert written == 16  # 64 KiB = 16 pages
+
+
+def test_ext2_readahead_batches_disk_reads():
+    bed = TestBed(target="local", client="stock")
+
+    def body():
+        file = yield from bed.ext2.open_new("f")
+        remaining = 64 * PAGE_SIZE
+        while remaining:
+            yield from bed.syscalls.write(file, PAGE_SIZE)
+            remaining -= PAGE_SIZE
+        file.dirty_pages.clear()
+        file.cached_pages.clear()
+        bed.pagecache.uncharge(bed.pagecache.dirty_bytes)  # simulate eviction
+        file.pos = 0
+        ops_before = bed.ext2.disk.ops
+        while (yield from bed.syscalls.read(file, PAGE_SIZE)):
+            pass
+        return bed.ext2.disk.ops - ops_before
+
+    read_ops = drive(bed, body())
+    assert read_ops == 2  # 64 pages / 32-page read-ahead
+
+
+def test_disk_busy_accounting():
+    bed = TestBed(target="local", client="stock")
+    bed.run_sequential_write(1 * MB, do_fsync=True)
+    disk = bed.ext2.disk
+    assert disk.busy_ns > 0
+    assert disk.ops >= 1
+    assert disk.bytes_written >= 1 * MB

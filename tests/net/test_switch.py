@@ -1,0 +1,69 @@
+"""Tests for switch forwarding, reassembly and its GC."""
+
+import pytest
+
+from repro.config import NetConfig
+from repro.errors import ConfigError
+from repro.net import Host, Switch
+from repro.sim import Simulator
+
+
+def test_three_hosts_forwarding_isolated():
+    sim = Simulator()
+    switch = Switch(sim)
+    net = NetConfig.gigabit()
+    hosts = {name: Host(sim, name, switch, net) for name in ("a", "b", "c")}
+    socks = {name: host.udp.socket(9) for name, host in hosts.items()}
+    got = {name: [] for name in hosts}
+
+    def rx(name):
+        while True:
+            dgram = yield from socks[name].recv()
+            got[name].append(dgram.payload)
+
+    for name in hosts:
+        sim.spawn(rx(name), daemon=True)
+    socks["a"].sendto("b", 9, "ab", 100)
+    socks["a"].sendto("c", 9, "ac", 100)
+    socks["b"].sendto("a", 9, "ba", 100)
+    sim.run_until(lambda: sum(map(len, got.values())) == 3)
+    assert got == {"a": ["ba"], "b": ["ab"], "c": ["ac"]}
+
+
+def test_duplicate_attachment_rejected():
+    sim = Simulator()
+    switch = Switch(sim)
+    Host(sim, "a", switch, NetConfig.gigabit())
+    with pytest.raises(ConfigError):
+        switch.attach("a", NetConfig.gigabit())
+
+
+def test_unknown_port_lookup_rejected():
+    sim = Simulator()
+    switch = Switch(sim)
+    with pytest.raises(ConfigError):
+        switch.port("ghost")
+
+
+def test_frames_to_detached_host_vanish():
+    sim = Simulator()
+    switch = Switch(sim)
+    a = Host(sim, "a", switch, NetConfig.gigabit())
+    sock = a.udp.socket(9)
+    sock.sendto("nobody", 9, "x", 100)
+    sim.run()  # no crash, nothing delivered
+
+
+def test_reassembly_table_bounded_under_loss():
+    sim = Simulator()
+    switch = Switch(sim)
+    lossy = NetConfig(loss_probability=0.5)
+    a = Host(sim, "a", switch, NetConfig.gigabit())
+    b = Host(sim, "b", switch, lossy)
+    b.udp.socket(9)
+    sock = a.udp.socket(9)
+    for i in range(6000):
+        sock.sendto("b", 9, i, 8392)  # 6 fragments each, half dropped
+    sim.run()
+    assert len(b.port._partial) <= 4096
+    assert switch.fragments_dropped > 0

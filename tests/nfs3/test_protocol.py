@@ -1,0 +1,42 @@
+"""Tests for NFSv3 protocol types and wire sizing."""
+
+import pytest
+
+from repro.nfs3 import (
+    CommitArgs,
+    Stable,
+    WriteArgs,
+    commit_call_size,
+    commit_reply_size,
+    write_call_size,
+    write_reply_size,
+)
+
+
+def test_stable_ordering_matches_rfc():
+    assert Stable.UNSTABLE < Stable.DATA_SYNC < Stable.FILE_SYNC
+    assert int(Stable.UNSTABLE) == 0
+    assert int(Stable.FILE_SYNC) == 2
+
+
+def test_write_args_validation():
+    args = WriteArgs(fileid=1, offset=0, count=8192)
+    assert args.stable is Stable.UNSTABLE
+    with pytest.raises(ValueError):
+        WriteArgs(fileid=1, offset=0, count=0)
+    with pytest.raises(ValueError):
+        WriteArgs(fileid=1, offset=-1, count=10)
+
+
+def test_write_call_size_includes_payload():
+    small = write_call_size(1)
+    big = write_call_size(8192)
+    assert big - small == 8191
+    assert small > 100  # headers
+
+
+def test_reply_and_commit_sizes_are_small():
+    assert write_reply_size() < 300
+    assert commit_call_size() < 300
+    assert commit_reply_size() < 300
+    assert CommitArgs(fileid=1).count == 0  # whole-file commit

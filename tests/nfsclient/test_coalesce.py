@@ -1,0 +1,74 @@
+"""Tests for wsize grouping."""
+
+from repro.nfsclient import NfsInode, NfsPageRequest, contiguous_run_length, group_extent, take_group
+from repro.sim import Simulator
+from repro.units import PAGE_SIZE
+
+
+def make_inode():
+    return NfsInode(Simulator(), fileid=1, name="f")
+
+
+def add(inode, page, offset=0, nbytes=PAGE_SIZE):
+    req = NfsPageRequest(1, page, offset, nbytes, created_at=0)
+    inode.note_created(req)
+    return req
+
+
+def test_full_group_taken_in_order():
+    inode = make_inode()
+    reqs = [add(inode, p) for p in (0, 1, 2, 3)]
+    group = take_group(inode, pages_per_rpc=2)
+    assert group == reqs[:2]
+    group = take_group(inode, pages_per_rpc=2)
+    assert group == reqs[2:]
+    assert take_group(inode, pages_per_rpc=2) is None
+
+
+def test_partial_run_needs_force():
+    inode = make_inode()
+    add(inode, 0)
+    assert take_group(inode, pages_per_rpc=2) is None
+    group = take_group(inode, pages_per_rpc=2, force=True)
+    assert len(group) == 1
+    assert not inode.dirty
+
+
+def test_non_contiguous_breaks_group():
+    inode = make_inode()
+    a = add(inode, 0)
+    b = add(inode, 5)  # gap
+    assert contiguous_run_length(inode, 2) == 1
+    assert take_group(inode, pages_per_rpc=2) is None
+    group = take_group(inode, pages_per_rpc=2, force=True)
+    assert group == [a]
+    group = take_group(inode, pages_per_rpc=2, force=True)
+    assert group == [b]
+
+
+def test_partial_tail_page_is_contiguous():
+    inode = make_inode()
+    a = add(inode, 0)
+    b = add(inode, 1, offset=0, nbytes=100)  # short final page
+    assert contiguous_run_length(inode, 2) == 2
+    group = take_group(inode, pages_per_rpc=2)
+    assert group == [a, b]
+    offset, count = group_extent(group)
+    assert offset == 0
+    assert count == PAGE_SIZE + 100
+
+
+def test_partial_first_page_breaks_contiguity():
+    inode = make_inode()
+    add(inode, 0, offset=0, nbytes=100)  # hole between 100 and 4096
+    add(inode, 1)
+    assert contiguous_run_length(inode, 2) == 1
+
+
+def test_group_extent_mid_file():
+    inode = make_inode()
+    add(inode, 10)
+    add(inode, 11)
+    offset, count = group_extent(take_group(inode, 2))
+    assert offset == 10 * PAGE_SIZE
+    assert count == 2 * PAGE_SIZE

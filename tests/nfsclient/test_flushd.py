@@ -1,0 +1,86 @@
+"""Tests for the nfs_flushd write-behind daemon."""
+
+from repro.bench import TestBed
+from repro.config import ClientHwConfig, NfsClientConfig, scaled
+from repro.units import MB, PAGE_SIZE, ms, seconds
+
+LAZY = NfsClientConfig(eager_flush_limits=False, hashtable_index=True)
+
+
+def drive(bed, gen):
+    task = bed.sim.spawn(gen, daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    if task.error:
+        raise task.error
+    return task.result
+
+
+def test_aged_partial_page_flushed_by_daemon():
+    """A lone sub-wsize request never triggers nfs_strategy; flushd's
+    age limit pushes it out without fsync/close."""
+    bed = TestBed(target="netapp", client=LAZY)
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        yield from bed.syscalls.write(file, PAGE_SIZE)  # half a wsize
+        assert bed.nfs.stats.writes_sent == 0
+        yield bed.sim.timeout(seconds(1))  # > age limit + interval
+        return bed.nfs.stats.writes_sent
+
+    writes_sent = drive(bed, body())
+    assert writes_sent == 1
+    assert bed.nfs.flushd.wakeups > 0
+
+
+def test_fresh_requests_not_flushed_early():
+    bed = TestBed(target="netapp", client=LAZY)
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        yield from bed.syscalls.write(file, PAGE_SIZE)
+        yield bed.sim.timeout(ms(200))  # below the 500 ms age limit
+        return bed.nfs.stats.writes_sent
+
+    assert drive(bed, body()) == 0
+
+
+def test_pressure_commit_only_when_unstable():
+    """flushd commits under pressure only when there is unstable data."""
+    hw = scaled(ClientHwConfig(), 16)
+    bed = TestBed(target="netapp", client=LAZY, hw=hw)  # filer: FILE_SYNC
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        remaining = 20 * MB
+        while remaining:
+            chunk = min(8192, remaining)
+            yield from bed.syscalls.write(file, chunk)
+            remaining -= chunk
+        yield from bed.syscalls.close(file)
+
+    drive(bed, body())
+    # Memory pressure occurred, but FILE_SYNC replies free pages without
+    # COMMIT: the daemon never commits against the filer.
+    assert bed.pagecache.throttled_count > 0
+    assert bed.nfs.flushd.commits_started == 0
+
+
+def test_daemon_holds_bkl_while_flushing():
+    bed = TestBed(target="netapp", client=LAZY)
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        yield from bed.syscalls.write(file, PAGE_SIZE)
+        yield bed.sim.timeout(seconds(1))
+
+    drive(bed, body())
+    assert "nfs_flushd" in bed.nfs.bkl.stats.hold_by_label
+
+
+def test_kick_coalesces_wakeups():
+    bed = TestBed(target="netapp", client=LAZY)
+    flushd = bed.nfs.flushd
+    for _ in range(10):
+        flushd.kick()  # repeated kicks before the loop runs
+    bed.sim.run_for(ms(10))
+    assert flushd.wakeups == 1

@@ -1,0 +1,89 @@
+"""State-accounting tests and invariants for NfsInode."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nfsclient import NfsInode, NfsPageRequest, RequestState
+from repro.sim import Simulator
+from repro.units import PAGE_SIZE
+
+
+def make_req(page):
+    return NfsPageRequest(1, page, 0, PAGE_SIZE, created_at=0)
+
+
+def test_lifecycle_stable_write():
+    sim = Simulator()
+    inode = NfsInode(sim, 1, "f")
+    req = make_req(0)
+    inode.note_created(req)
+    assert inode.live_requests == 1
+    assert inode.writeback_requests == 1
+    assert inode.has_unfinished_writes()
+
+    inode.dirty.popleft()
+    inode.note_scheduled(req, now=10)
+    assert req.state is RequestState.SCHEDULED
+    assert inode.writes_in_flight == 1
+
+    inode.note_write_done(req, now=20)
+    assert req.state is RequestState.DONE
+    assert req.completed_at == 20
+    assert inode.live_requests == 0
+    assert inode.is_clean()
+
+
+def test_lifecycle_unstable_then_commit():
+    sim = Simulator()
+    inode = NfsInode(sim, 1, "f")
+    req = make_req(0)
+    inode.note_created(req)
+    inode.dirty.popleft()
+    inode.note_scheduled(req, now=10)
+    inode.note_unstable(req)
+    assert req.state is RequestState.UNSTABLE
+    assert inode.unstable_bytes == PAGE_SIZE
+    assert not inode.has_unfinished_writes()  # write-back is done
+    assert inode.live_requests == 1  # but not stable yet
+    assert inode.writeback_requests == 0
+
+    inode.note_committed(req, now=30)
+    assert inode.unstable_bytes == 0
+    assert inode.is_clean()
+
+
+def test_commit_in_flight_blocks_clean():
+    sim = Simulator()
+    inode = NfsInode(sim, 1, "f")
+    inode.commit_in_flight = True
+    assert not inode.is_clean()
+
+
+@given(st.lists(st.sampled_from(["stable", "unstable"]), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_accounting_invariants_over_random_lifecycles(outcomes):
+    sim = Simulator()
+    inode = NfsInode(sim, 1, "f")
+    requests = []
+    for page, outcome in enumerate(outcomes):
+        req = make_req(page)
+        inode.note_created(req)
+        requests.append((req, outcome))
+    assert inode.live_requests == len(outcomes)
+    for req, outcome in requests:
+        inode.dirty.popleft()
+        inode.note_scheduled(req, now=1)
+        if outcome == "stable":
+            inode.note_write_done(req, now=2)
+        else:
+            inode.note_unstable(req)
+    assert inode.writes_in_flight == 0
+    unstable = sum(1 for _r, o in requests if o == "unstable")
+    assert inode.live_requests == unstable
+    assert inode.unstable_bytes == unstable * PAGE_SIZE
+    for req, outcome in requests:
+        if outcome == "unstable":
+            inode.note_committed(req, now=3)
+    assert inode.is_clean()
+    assert inode.unstable_bytes == 0
+    assert inode.total_requests_created == len(outcomes)

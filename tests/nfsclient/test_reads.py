@@ -1,0 +1,187 @@
+"""Tests for the read path: caching, read-ahead, server media costs."""
+
+from repro.bench import TestBed
+from repro.config import NfsClientConfig
+from repro.units import MB, PAGE_SIZE
+
+LAZY = NfsClientConfig(eager_flush_limits=False, hashtable_index=True)
+
+
+def write_then(bed, nbytes, body_after):
+    """Write a file, close it, then run ``body_after(file)``."""
+    out = {}
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        remaining = nbytes
+        while remaining:
+            chunk = min(8192, remaining)
+            yield from bed.syscalls.write(file, chunk)
+            remaining -= chunk
+        yield from bed.syscalls.fsync(file)
+        file.pos = 0
+        yield from body_after(file, out)
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    if task.error:
+        raise task.error
+    return out
+
+
+def test_read_after_write_hits_client_cache():
+    """§2.3: caching moderates reads — a re-read sends no RPCs."""
+    bed = TestBed(target="netapp", client=LAZY)
+
+    def after(file, out):
+        reads_before = bed.nfs.stats.reads_sent
+        start = bed.sim.now
+        total = 0
+        while True:
+            n = yield from bed.syscalls.read(file, 8192)
+            if n == 0:
+                break
+            total += n
+        out["elapsed"] = bed.sim.now - start
+        out["rpcs"] = bed.nfs.stats.reads_sent - reads_before
+        out["total"] = total
+
+    out = write_then(bed, 1 * MB, after)
+    assert out["rpcs"] == 0
+    assert out["total"] == 1 * MB
+    # Pure memory speed (copy-bound, ~190 MBps like local ext2 writes).
+    assert out["total"] / (out["elapsed"] / 1e9) > 150e6
+
+
+def test_cold_read_fetches_over_the_wire():
+    bed = TestBed(target="netapp", client=LAZY)
+
+    def after(file, out):
+        file.cached_pages.clear()  # evict the client cache
+        total = 0
+        while True:
+            n = yield from bed.syscalls.read(file, 8192)
+            if n == 0:
+                break
+            total += n
+        out["total"] = total
+
+    out = write_then(bed, 512 * 1024, after)
+    assert out["total"] == 512 * 1024
+    assert bed.nfs.stats.reads_sent > 0
+    assert bed.server.reads_handled > 0
+    assert bed.server.bytes_served == 512 * 1024
+
+
+def test_readahead_overfetches_sequentially():
+    """One faulting read triggers a window of background fetches."""
+    bed = TestBed(target="netapp", client=LAZY)
+
+    def after(file, out):
+        file.cached_pages.clear()
+        yield from bed.syscalls.read(file, 8192)
+        out["reads_sent"] = bed.nfs.stats.reads_sent
+        out["fetched"] = bed.nfs.stats.bytes_fetched
+
+    out = write_then(bed, 1 * MB, after)
+    # The first fault fetched its rsize chunk plus the RA window.
+    assert out["reads_sent"] > 1
+    assert out["fetched"] > 8192
+
+
+def test_read_past_eof_returns_short():
+    bed = TestBed(target="netapp", client=LAZY)
+
+    def after(file, out):
+        file.pos = file.size - 100
+        n = yield from bed.syscalls.read(file, 8192)
+        out["n"] = n
+        n2 = yield from bed.syscalls.read(file, 8192)
+        out["n2"] = n2
+
+    out = write_then(bed, 64 * 1024, after)
+    assert out["n"] == 100
+    assert out["n2"] == 0
+
+
+def test_dirty_pages_are_readable_without_rpc():
+    bed = TestBed(target="netapp", client=LAZY)
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        yield from bed.syscalls.write(file, 8192)
+        file.cached_pages.clear()  # only the dirty write requests remain
+        file.pos = 0
+        n = yield from bed.syscalls.read(file, 8192)
+        return n, bed.nfs.stats.reads_sent
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    n, reads = task.result
+    assert n == 8192
+    assert reads == 0
+
+
+def test_huge_file_reads_hit_server_media():
+    """Beyond the knfsd cache budget, reads cost real disk time."""
+    bed = TestBed(target="linux", client=LAZY)
+    server_file_size = bed.server.dirty_limit + 10 * MB
+
+    def body():
+        file = yield from bed.nfs.open_new("big")
+        # Fabricate a large server file without simulating the write.
+        server_file = next(iter(bed.server.files.values()))
+        server_file.size = server_file_size
+        file.size = server_file_size
+        file.pos = 0
+        yield from bed.syscalls.read(file, 8192)
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    assert task.error is None
+    assert bed.server.disk.bytes_read > 0
+
+
+def test_local_ext2_reads():
+    bed = TestBed(target="local", client="stock")
+
+    def body():
+        file = yield from bed.ext2.open_new("f")
+        yield from bed.syscalls.write(file, 64 * 1024)
+        # Warm re-read: no disk.
+        file.pos = 0
+        disk_reads_before = bed.ext2.disk.bytes_read
+        yield from bed.syscalls.read(file, 64 * 1024)
+        warm = bed.ext2.disk.bytes_read - disk_reads_before
+        # Cold read: evict, must hit the disk with read-ahead.
+        file.cached_pages.clear()
+        file.dirty_pages.clear()
+        file.pos = 0
+        yield from bed.syscalls.read(file, 8192)
+        cold = bed.ext2.disk.bytes_read - disk_reads_before
+        return warm, cold
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    warm, cold = task.result
+    assert warm == 0
+    assert cold >= 8192  # read-ahead fetched at least the chunk
+
+
+def test_read_insensitive_to_server_speed_when_cached():
+    """The §2.3 asymmetry: cached reads don't see the server at all."""
+    elapsed = {}
+    for target in ("netapp", "linux-100"):
+        bed = TestBed(target=target, client=LAZY)
+
+        def after(file, out):
+            start = bed.sim.now
+            while True:
+                n = yield from bed.syscalls.read(file, 8192)
+                if n == 0:
+                    break
+            out["elapsed"] = bed.sim.now - start
+
+        out = write_then(bed, 512 * 1024, after)
+        elapsed[target] = out["elapsed"]
+    assert elapsed["netapp"] == elapsed["linux-100"]

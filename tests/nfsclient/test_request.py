@@ -1,0 +1,71 @@
+"""Tests for NfsPageRequest."""
+
+import pytest
+
+from repro.nfsclient import NfsPageRequest, RequestState
+from repro.units import PAGE_SIZE
+
+
+def make(offset=0, nbytes=PAGE_SIZE):
+    return NfsPageRequest(
+        fileid=1, page_index=5, offset_in_page=offset, nbytes=nbytes, created_at=0
+    )
+
+
+def test_construction_and_offsets():
+    req = make()
+    assert req.state is RequestState.DIRTY
+    assert req.live
+    assert req.file_offset == 5 * PAGE_SIZE
+    partial = make(offset=100, nbytes=50)
+    assert partial.file_offset == 5 * PAGE_SIZE + 100
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make(offset=-1)
+    with pytest.raises(ValueError):
+        make(offset=PAGE_SIZE)
+    with pytest.raises(ValueError):
+        make(nbytes=0)
+    with pytest.raises(ValueError):
+        make(offset=100, nbytes=PAGE_SIZE)  # spills past page end
+
+
+def test_extend_touching_ranges():
+    req = make(offset=0, nbytes=100)
+    assert req.can_extend(100, 50)  # adjacent
+    req.extend(100, 50)
+    assert req.offset_in_page == 0
+    assert req.nbytes == 150
+
+
+def test_extend_overlapping_ranges():
+    req = make(offset=100, nbytes=100)
+    req.extend(150, 200)
+    assert req.offset_in_page == 100
+    assert req.nbytes == 250
+    req.extend(0, 120)  # overlaps from the left
+    assert req.offset_in_page == 0
+    assert req.nbytes == 350
+
+
+def test_cannot_extend_disjoint_range():
+    req = make(offset=0, nbytes=100)
+    assert not req.can_extend(200, 50)
+    with pytest.raises(ValueError):
+        req.extend(200, 50)
+
+
+def test_cannot_extend_once_scheduled():
+    req = make()
+    req.state = RequestState.SCHEDULED
+    assert not req.can_extend(0, 100)
+    req.state = RequestState.UNSTABLE
+    assert not req.can_extend(0, 100)
+
+
+def test_done_requests_are_not_live():
+    req = make()
+    req.state = RequestState.DONE
+    assert not req.live

@@ -1,0 +1,97 @@
+"""Tests for the paper's hash-table index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.nfsclient import HashTableIndex, NfsPageRequest
+from repro.nfsclient.request_hash import BYTES_PER_INODE, BYTES_PER_REQUEST
+from repro.units import PAGE_SIZE
+
+
+def make_req(page, fileid=1):
+    return NfsPageRequest(fileid, page, 0, PAGE_SIZE, created_at=0)
+
+
+def test_find_cost_independent_of_population():
+    """The paper's fix: cost does not grow with outstanding requests."""
+    index = HashTableIndex(nbuckets=256, lookup_cost_ns=300, node_cost_ns=60)
+    costs = []
+    for page in range(0, 2560, 1):
+        _found, cost = index.find(1, page)
+        costs.append(cost)
+        index.insert(make_req(page))
+    # 2560 requests over 256 buckets: each bucket holds ~10, so even the
+    # worst search is bounded by the bucket depth, not the total.
+    assert max(costs) <= 300 + 60 * (2560 // 256 + 2)
+    assert index.max_bucket_depth() <= 2560 // 256 + 2
+
+
+def test_find_and_remove():
+    index = HashTableIndex(nbuckets=8, lookup_cost_ns=10, node_cost_ns=1)
+    req = make_req(3)
+    index.insert(req)
+    found, _cost = index.find(1, 3)
+    assert found is req
+    index.remove(req)
+    found, _cost = index.find(1, 3)
+    assert found is None
+    assert len(index) == 0
+
+
+def test_same_page_different_inodes_coexist():
+    index = HashTableIndex(nbuckets=8, lookup_cost_ns=10, node_cost_ns=1)
+    a = make_req(3, fileid=1)
+    b = make_req(3, fileid=2)
+    index.insert(a)
+    index.insert(b)
+    assert index.peek(1, 3) is a
+    assert index.peek(2, 3) is b
+
+
+def test_bucket_collisions_cost_honestly():
+    index = HashTableIndex(nbuckets=1, lookup_cost_ns=0, node_cost_ns=5)
+    for page in range(10):
+        index.insert(make_req(page))
+    _found, cost = index.find(1, 99)
+    assert cost == 5 * 10  # single bucket: scans everything
+
+
+def test_memory_overhead_accounting():
+    """§3.4: 8 bytes per request and 8 per inode."""
+    index = HashTableIndex(nbuckets=64, lookup_cost_ns=1, node_cost_ns=1)
+    for page in range(10):
+        index.insert(make_req(page, fileid=1))
+    for page in range(5):
+        index.insert(make_req(page, fileid=2))
+    assert index.memory_overhead_bytes() == 15 * BYTES_PER_REQUEST + 2 * BYTES_PER_INODE
+
+
+def test_duplicate_and_unknown_rejected():
+    index = HashTableIndex(nbuckets=8, lookup_cost_ns=1, node_cost_ns=1)
+    req = make_req(1)
+    index.insert(req)
+    with pytest.raises(SimulationError):
+        index.insert(make_req(1))
+    with pytest.raises(SimulationError):
+        index.remove(make_req(2))
+    with pytest.raises(SimulationError):
+        HashTableIndex(nbuckets=0, lookup_cost_ns=1, node_cost_ns=1)
+
+
+@given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 200)), max_size=80))
+@settings(max_examples=50, deadline=None)
+def test_hash_agrees_with_reference(keys):
+    index = HashTableIndex(nbuckets=16, lookup_cost_ns=1, node_cost_ns=1)
+    reference = {}
+    for fileid, page in keys:
+        req = make_req(page, fileid=fileid)
+        reference[(fileid, page)] = req
+        index.insert(req)
+    for fileid, page in list(reference) + [(9, 9), (0, 201)]:
+        found, _cost = index.find(fileid, page)
+        assert found is reference.get((fileid, page))
+    assert len(index) == len(reference)
+    total_bucket_population = sum(len(b) for b in index._buckets)
+    assert total_bucket_population == len(reference)

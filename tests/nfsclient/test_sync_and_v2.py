@@ -1,0 +1,146 @@
+"""Tests for O_SYNC files, NFSv2 mounts, and the shared kernel lock."""
+
+from repro.bench import TestBed
+from repro.config import MountConfig, NfsClientConfig
+from repro.kernel import BigKernelLock
+from repro.nfs3 import Stable
+from repro.nfsclient import NfsClient
+from repro.units import MB
+
+
+LAZY = NfsClientConfig(eager_flush_limits=False, hashtable_index=True)
+
+
+def run_file(bed, nbytes, sync=False, chunk=8192):
+    def body():
+        file = yield from bed.nfs.open_new("f", sync=sync)
+        remaining = nbytes
+        while remaining:
+            n = min(chunk, remaining)
+            yield from bed.syscalls.write(file, n)
+            remaining -= n
+        yield from bed.syscalls.close(file)
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    if task.error:
+        raise task.error
+
+
+# --- O_SYNC ------------------------------------------------------------------
+
+
+def test_osync_write_returns_with_zero_dirty():
+    bed = TestBed(target="linux", client=LAZY)
+
+    def body():
+        file = yield from bed.nfs.open_new("f", sync=True)
+        yield from bed.syscalls.write(file, 8192)
+        return bed.pagecache.dirty_bytes
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    assert task.error is None
+    assert task.result == 0  # stable before write() returned
+
+
+def test_osync_forces_server_disk_writes_no_commit():
+    bed = TestBed(target="linux", client=LAZY)
+    run_file(bed, 256 * 1024, sync=True)
+    # FILE_SYNC writes: durable without COMMIT RPCs.
+    assert bed.nfs.stats.commits_sent == 0
+    assert bed.server.disk.bytes_written >= 256 * 1024
+
+
+def test_osync_is_much_slower_than_async():
+    def throughput(sync):
+        bed = TestBed(target="linux", client=LAZY)
+        start = bed.sim.now
+        run_file(bed, 512 * 1024, sync=sync)
+        return 512 * 1024 / ((bed.sim.now - start) / 1e9)
+
+    assert throughput(sync=False) > 3 * throughput(sync=True)
+
+
+def test_osync_fast_on_filer_nvram():
+    """§3.6: with data-permanence requirements the filer wins."""
+
+    def elapsed(target):
+        bed = TestBed(target=target, client=LAZY)
+        start = bed.sim.now
+        run_file(bed, 256 * 1024, sync=True)
+        return bed.sim.now - start
+
+    assert elapsed("netapp") < elapsed("linux")
+
+
+# --- NFSv2 ---------------------------------------------------------------------
+
+
+def test_v2_mount_never_commits():
+    bed = TestBed(target="linux", client=LAZY, mount=MountConfig(nfs_version=2))
+    run_file(bed, 1 * MB)
+    assert bed.nfs.stats.commits_sent == 0
+    assert bed.server.commits_handled == 0
+    # v2 writes are synchronous at the server: everything on the platter.
+    server_file = next(iter(bed.server.files.values()))
+    assert server_file.dirty_bytes == 0
+    assert bed.server.disk.bytes_written >= 1 * MB
+
+
+def test_v2_flush_slower_than_v3_on_linux_server():
+    """NFSv3's async WRITE + COMMIT was invented for exactly this."""
+
+    def flush_mbps(version):
+        bed = TestBed(
+            target="linux", client=LAZY, mount=MountConfig(nfs_version=version)
+        )
+        result = bed.run_sequential_write(2 * MB)
+        return result.flush_mbps
+
+    assert flush_mbps(3) > flush_mbps(2)
+
+
+def test_v2_against_filer_costs_the_same():
+    """NVRAM makes stable writes free: v2 ~ v3 on the filer."""
+
+    def flush_mbps(version):
+        bed = TestBed(
+            target="netapp", client=LAZY, mount=MountConfig(nfs_version=version)
+        )
+        return bed.run_sequential_write(2 * MB).flush_mbps
+
+    v2, v3 = flush_mbps(2), flush_mbps(3)
+    assert abs(v2 - v3) < 0.2 * v3
+
+
+# --- shared BKL -------------------------------------------------------------------
+
+
+def test_two_mounts_share_one_kernel_lock():
+    bed = TestBed(target="netapp", client=LAZY)
+    # Second mount to the same server, same host: kernel-wide BKL.
+    second = NfsClient(
+        bed.client_host,
+        bed.pagecache,
+        server=bed.server.name,
+        behavior=LAZY,
+        client_port=701,
+        bkl=bed.nfs.bkl,
+    )
+    assert second.bkl is bed.nfs.bkl
+
+    def body():
+        a = yield from bed.nfs.open_new("a")
+        b = yield from second.open_new("b")
+        for _ in range(32):
+            yield from bed.syscalls.write(a, 8192)
+            yield from bed.syscalls.write(b, 8192)
+        yield from bed.syscalls.close(a)
+        yield from bed.syscalls.close(b)
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done)
+    assert task.error is None
+    # Both mounts' traffic serialized through the one lock.
+    assert bed.nfs.bkl.stats.acquisitions > 128

@@ -1,0 +1,48 @@
+"""Tests for the named client variants."""
+
+import pytest
+
+from repro.config import NfsClientConfig
+from repro.errors import ConfigError
+from repro.nfsclient import VARIANT_ORDER, VARIANTS, variant_config
+
+
+def test_paper_progression_exists():
+    assert VARIANT_ORDER == ["stock", "noflush", "hashtable", "nolock"]
+    for name in VARIANT_ORDER:
+        assert name in VARIANTS
+
+
+def test_enhanced_is_nolock():
+    assert variant_config("enhanced") is variant_config("nolock")
+
+
+def test_variant_flags_match_the_paper_steps():
+    stock = variant_config("stock")
+    assert stock.eager_flush_limits
+    assert not stock.hashtable_index
+    assert not stock.release_bkl_for_send
+
+    noflush = variant_config("noflush")
+    assert not noflush.eager_flush_limits
+    assert not noflush.hashtable_index
+
+    hashtable = variant_config("hashtable")
+    assert hashtable.hashtable_index
+    assert not hashtable.release_bkl_for_send
+
+    nolock = variant_config("nolock")
+    assert nolock.hashtable_index
+    assert nolock.release_bkl_for_send
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ConfigError):
+        variant_config("turbo")
+
+
+def test_variants_are_plain_configs():
+    for config in VARIANTS.values():
+        assert isinstance(config, NfsClientConfig)
+        assert config.max_request_soft == 192
+        assert config.max_request_hard == 256

@@ -1,0 +1,52 @@
+"""Shared fixtures for RPC-layer tests: a client, a switch, an echo server."""
+
+from repro.config import NetConfig
+from repro.net import Host, Switch
+from repro.rpc import RpcCall, RpcServer, UdpTransport
+from repro.sim import Simulator
+from repro.units import us
+
+NFS_PORT = 2049
+
+
+class EchoWorld:
+    """Client and echo server wired through a switch.
+
+    The server handler waits ``service_ns`` per request, so tests can
+    emulate fast and slow servers.
+    """
+
+    def __init__(self, service_ns=us(100), slots=16, timeo_ns=700_000_000,
+                 lock_policy=None, net=None):
+        self.sim = Simulator()
+        self.switch = Switch(self.sim)
+        net = net or NetConfig.gigabit()
+        self.client_host = Host(self.sim, "client", self.switch, net, ncpus=2)
+        self.server_host = Host(self.sim, "server", self.switch, net, ncpus=2)
+        self.service_ns = service_ns
+        self.served = []
+        self.server = RpcServer(
+            self.server_host, NFS_PORT, self._handle, name="echo"
+        )
+        sock = self.client_host.udp.socket(800)
+        self.xprt = UdpTransport(
+            self.client_host,
+            sock,
+            "server",
+            NFS_PORT,
+            slots=slots,
+            timeo_ns=timeo_ns,
+            lock_policy=lock_policy,
+        )
+        self.paused = False
+
+    def _handle(self, call):
+        while self.paused:
+            yield self.sim.timeout(us(50))
+        yield self.sim.timeout(self.service_ns)
+        self.served.append(call.args)
+        return ("echo", call.args), 128
+
+    def make_call(self, tag, size=8392):
+        return RpcCall(xid=self.xprt.next_xid(), prog="test", proc="ECHO",
+                       args=tag, size=size)

@@ -1,0 +1,80 @@
+"""Unit tests for the RPC server dispatcher."""
+
+from repro.rpc import RpcCall
+from repro.rpc.messages import RpcError
+from repro.rpc.server import DRC_SIZE
+from repro.units import ms, us
+
+from .helpers import EchoWorld
+
+
+def test_thread_pool_bounds_concurrency():
+    world = EchoWorld(service_ns=ms(1))
+    active_peak = []
+    orig_handle = world._handle
+    active = [0]
+
+    def counting_handle(call):
+        active[0] += 1
+        active_peak.append(active[0])
+        try:
+            result = yield from orig_handle(call)
+        finally:
+            active[0] -= 1
+        return result
+
+    world.server.handler = counting_handle
+
+    def client():
+        reqs = []
+        for i in range(30):
+            req = yield from world.xprt.submit(world.make_call(i, size=200))
+            reqs.append(req)
+        for req in reqs:
+            yield req.completion
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert max(active_peak) <= 8  # default nthreads
+
+
+def test_handler_exception_becomes_error_reply():
+    world = EchoWorld()
+
+    def broken(call):
+        raise ValueError("corrupt args")
+        yield  # pragma: no cover
+
+    world.server.handler = broken
+    replies = []
+
+    def client():
+        req = yield from world.xprt.submit(world.make_call("x"))
+        reply = yield req.completion
+        replies.append(reply)
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert len(replies) == 1
+    assert replies[0].is_error
+    assert isinstance(replies[0].result, RpcError)
+    assert world.server.errors == 1
+
+
+def test_drc_eviction_is_bounded():
+    world = EchoWorld(service_ns=us(1))
+
+    def client():
+        reqs = []
+        for i in range(DRC_SIZE + 50):
+            req = yield from world.xprt.submit(world.make_call(i, size=200))
+            reqs.append(req)
+            if len(world.xprt.in_flight) > 8:
+                yield reqs[-1].completion
+        for req in reqs:
+            yield req.completion
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert len(world.server._drc) <= DRC_SIZE
+    assert world.server.requests_handled == DRC_SIZE + 50

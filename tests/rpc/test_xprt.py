@@ -1,0 +1,197 @@
+"""Unit/integration tests for the RPC transport."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.rpc import RpcCall, UdpTransport
+from repro.sim import Simulator
+from repro.units import ms, us
+
+from .helpers import EchoWorld
+
+
+def test_single_call_round_trip():
+    world = EchoWorld()
+    results = []
+
+    def client():
+        reply = yield from world.xprt.call_and_wait(world.make_call("hi"))
+        results.append(reply.result)
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert results == [("echo", "hi")]
+    assert world.xprt.stats.completed == 1
+    assert world.xprt.stats.retransmits == 0
+
+
+def test_window_limits_in_flight():
+    world = EchoWorld(service_ns=us(500), slots=4)
+    in_flight_peaks = []
+
+    def client():
+        reqs = []
+        for i in range(20):
+            req = yield from world.xprt.submit(world.make_call(i))
+            reqs.append(req)
+            in_flight_peaks.append(len(world.xprt.in_flight))
+        for req in reqs:
+            yield req.completion
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert max(in_flight_peaks) <= 4
+    assert world.xprt.stats.completed == 20
+    assert len(world.served) == 20
+
+
+def test_backlog_sent_by_rpciod_not_caller():
+    world = EchoWorld(service_ns=us(500), slots=2)
+
+    def client():
+        reqs = []
+        for i in range(10):
+            req = yield from world.xprt.submit(world.make_call(i))
+            reqs.append(req)
+        for req in reqs:
+            yield req.completion
+
+    world.sim.spawn(client())
+    world.sim.run()
+    stats = world.xprt.stats
+    assert stats.sent_inline == 2  # initial congestion window
+    assert stats.sent_by_rpciod == 8
+    assert 0 < stats.inline_fraction < 1
+    assert stats.backlog_peak >= 1
+
+
+def test_cwnd_grows_toward_slot_limit():
+    world = EchoWorld(service_ns=us(50), slots=16)
+
+    def client():
+        reqs = []
+        for i in range(100):
+            req = yield from world.xprt.submit(world.make_call(i))
+            reqs.append(req)
+        for req in reqs:
+            yield req.completion
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert world.xprt.cwnd > UdpTransport.INITIAL_CWND
+    assert world.xprt.cwnd <= 16
+
+
+def test_retransmit_on_server_pause():
+    world = EchoWorld(service_ns=us(100), timeo_ns=ms(5))
+    world.paused = True
+
+    def unpause():
+        yield world.sim.timeout(ms(20))
+        world.paused = False
+
+    results = []
+
+    def client():
+        reply = yield from world.xprt.call_and_wait(world.make_call("slow"))
+        results.append(reply.result)
+
+    world.sim.spawn(client())
+    world.sim.spawn(unpause())
+    world.sim.run()
+    assert results == [("echo", "slow")]
+    assert world.xprt.stats.retransmits >= 1
+    # Duplicate-request cache means the server executed it exactly once.
+    assert len(world.served) == 1
+
+
+def test_retransmit_halves_cwnd():
+    world = EchoWorld(service_ns=us(100), timeo_ns=ms(2))
+    world.paused = True
+
+    def unpause():
+        yield world.sim.timeout(ms(30))
+        world.paused = False
+
+    def client():
+        yield from world.xprt.call_and_wait(world.make_call("x"))
+
+    world.sim.spawn(client())
+    world.sim.spawn(unpause())
+    world.sim.run()
+    # Backoff happened at least once, so cwnd dipped to its floor.
+    assert world.xprt.stats.retransmits >= 2
+
+
+def test_on_complete_callback_runs_before_completion_event():
+    world = EchoWorld()
+    order = []
+
+    def on_complete(reply):
+        order.append("callback")
+        return
+        yield  # pragma: no cover
+
+    def client():
+        req = yield from world.xprt.submit(world.make_call("cb"), on_complete)
+        yield req.completion
+        order.append("awaited")
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert order == ["callback", "awaited"]
+
+
+def test_outstanding_counts_backlog_and_in_flight():
+    world = EchoWorld(service_ns=ms(5), slots=2)
+
+    def client():
+        for i in range(6):
+            yield from world.xprt.submit(world.make_call(i))
+
+    world.sim.spawn(client())
+    world.sim.run(until=us(300))
+    assert world.xprt.outstanding == 6
+    world.sim.run()
+    assert world.xprt.outstanding == 0
+
+
+def test_zero_slots_rejected():
+    sim = Simulator()
+    from repro.config import NetConfig
+    from repro.net import Host, Switch
+
+    switch = Switch(sim)
+    host = Host(sim, "h", switch, NetConfig.gigabit())
+    sock = host.udp.socket(1)
+    with pytest.raises(ProtocolError):
+        UdpTransport(host, sock, "s", 2049, slots=0)
+
+
+def test_xids_unique_and_monotonic():
+    world = EchoWorld()
+    xids = [world.make_call(i).xid for i in range(100)]
+    assert xids == sorted(xids)
+    assert len(set(xids)) == 100
+
+
+def test_slow_server_reduces_inline_sends():
+    """The slow-server paradox's mechanism: a slower server keeps the
+    window full, pushing sends out of the submitting thread."""
+    fractions = {}
+    for label, service in (("fast", us(10)), ("slow", us(2000))):
+        world = EchoWorld(service_ns=service, slots=4)
+
+        def client(world=world):
+            reqs = []
+            for i in range(50):
+                req = yield from world.xprt.submit(world.make_call(i, size=500))
+                reqs.append(req)
+                yield world.sim.timeout(us(100))  # writer keeps producing
+            for req in reqs:
+                yield req.completion
+
+        world.sim.spawn(client())
+        world.sim.run()
+        fractions[label] = world.xprt.stats.inline_fraction
+    assert fractions["slow"] < fractions["fast"]

@@ -1,0 +1,76 @@
+"""Transport dynamics: congestion window and wire-send recording."""
+
+from repro.units import ms, us
+
+from .helpers import EchoWorld
+
+
+def run_calls(world, n, size=500, gap=us(50)):
+    def client():
+        reqs = []
+        for i in range(n):
+            req = yield from world.xprt.submit(world.make_call(i, size=size))
+            reqs.append(req)
+            if gap:
+                yield world.sim.timeout(gap)
+        for req in reqs:
+            yield req.completion
+
+    world.sim.spawn(client())
+    world.sim.run()
+
+
+def test_cwnd_additive_increase_shape():
+    """cwnd grows fast when small, slower as it rises (1/cwnd steps)."""
+    world = EchoWorld(service_ns=us(10), slots=16)
+    samples = []
+    original = world.xprt._on_reply_cwnd
+
+    def sampling():
+        original()
+        samples.append(world.xprt.cwnd)
+
+    world.xprt._on_reply_cwnd = sampling
+    run_calls(world, 60)
+    deltas = [b - a for a, b in zip(samples, samples[1:]) if b > a]
+    # Early increments larger than late ones (concave growth).
+    assert deltas[0] > deltas[-1]
+    assert samples[-1] <= 16
+
+
+def test_cwnd_never_exceeds_slots():
+    world = EchoWorld(service_ns=us(10), slots=4)
+    run_calls(world, 80)
+    assert world.xprt.cwnd <= 4
+
+
+def test_timeout_halves_cwnd_with_floor():
+    world = EchoWorld(service_ns=us(100), timeo_ns=ms(1))
+    world.paused = True
+
+    def unpause():
+        yield world.sim.timeout(ms(40))
+        world.paused = False
+
+    world.sim.spawn(unpause())
+    run_calls(world, 1, gap=0)
+    assert world.xprt.cwnd >= 1.0  # floor holds after repeated backoff
+    assert world.xprt.stats.retransmits >= 3
+
+
+def test_send_times_recorded_and_gap_computed():
+    world = EchoWorld(service_ns=us(10))
+    run_calls(world, 10, gap=us(200))
+    assert len(world.xprt.send_times) == 10
+    gap = world.xprt.max_send_gap_ns()
+    assert us(150) < gap < us(400)
+    # Restricting the horizon excludes later sends.
+    first_two_gap = world.xprt.max_send_gap_ns(up_to=list(world.xprt.send_times)[1])
+    assert first_two_gap <= gap
+
+
+def test_send_gap_empty_and_single():
+    world = EchoWorld()
+    assert world.xprt.max_send_gap_ns() == 0
+    run_calls(world, 1, gap=0)
+    assert world.xprt.max_send_gap_ns() == 0

@@ -1,0 +1,199 @@
+"""Unit tests for the server models (driven via raw RPC)."""
+
+import pytest
+
+from repro.config import FilerConfig, LinuxServerConfig, NetConfig
+from repro.errors import ProtocolError
+from repro.net import Host, Switch
+from repro.nfs3 import (
+    CommitArgs,
+    CreateArgs,
+    Stable,
+    WriteArgs,
+    write_call_size,
+)
+from repro.rpc import RpcCall, UdpTransport
+from repro.server import LinuxNfsServer, NetappFiler, SimpleNfsServer
+from repro.sim import Simulator
+from repro.units import MB, ms, us
+
+
+class Client:
+    """A minimal raw-RPC client for poking servers."""
+
+    def __init__(self, server_cls, server_kwargs=None, net=None):
+        self.sim = Simulator()
+        switch = Switch(self.sim)
+        net = net or NetConfig.gigabit()
+        self.host = Host(self.sim, "client", switch, net, ncpus=2)
+        self.server = server_cls(self.sim, switch, net, **(server_kwargs or {}))
+        sock = self.host.udp.socket(700)
+        self.xprt = UdpTransport(self.host, sock, self.server.name, 2049)
+
+    def call(self, proc, args, size=200):
+        rpc = RpcCall(self.xprt.next_xid(), "nfs3", proc, args, size)
+        return self.xprt.call_and_wait(rpc)
+
+    def run(self, gen):
+        # daemon=True: failures land in task.error for re-raising here
+        # instead of exploding out of the event loop as TaskFailed.
+        task = self.sim.spawn(gen, daemon=True)
+        self.sim.run_until(lambda: task.done)
+        if task.error:
+            raise task.error
+        return task.result
+
+
+def test_filer_acknowledges_file_sync():
+    client = Client(NetappFiler)
+
+    def body():
+        created = yield from client.call("CREATE", CreateArgs("f"))
+        fid = created.result.fileid
+        reply = yield from client.call(
+            "WRITE", WriteArgs(fid, 0, 8192), size=write_call_size(8192)
+        )
+        return reply.result
+
+    result = client.run(body())
+    assert result.committed is Stable.FILE_SYNC
+    assert client.server.active_half_used == 8192
+
+
+def test_filer_checkpoint_pauses_and_drains():
+    config = FilerConfig(nvram_bytes=2 * MB, checkpoint_pause_ns=ms(5))
+    client = Client(NetappFiler, {"config": config})
+
+    def body():
+        created = yield from client.call("CREATE", CreateArgs("f"))
+        fid = created.result.fileid
+        # Write 3 MB: crosses the 1 MB half boundary several times.
+        offset = 0
+        while offset < 3 * MB:
+            yield from client.call(
+                "WRITE", WriteArgs(fid, offset, 8192), size=write_call_size(8192)
+            )
+            offset += 8192
+
+    client.run(body())
+    client.sim.run_for(ms(50))  # let the last pause window close
+    assert client.server.checkpoints >= 2
+    for begin, end in client.server.checkpoint_windows:
+        assert end - begin == ms(5)
+    assert not client.server.paused
+
+
+def test_filer_commit_is_a_noop():
+    client = Client(NetappFiler)
+
+    def body():
+        created = yield from client.call("CREATE", CreateArgs("f"))
+        fid = created.result.fileid
+        yield from client.call(
+            "WRITE", WriteArgs(fid, 0, 8192), size=write_call_size(8192)
+        )
+        before = client.sim.now
+        yield from client.call("COMMIT", CommitArgs(fid))
+        return client.sim.now - before
+
+    elapsed = client.run(body())
+    assert elapsed < ms(1)  # no disk work behind the commit
+    assert client.server.commits_handled == 1
+
+
+def test_linux_server_unstable_then_commit_hits_disk():
+    client = Client(LinuxNfsServer)
+
+    def body():
+        created = yield from client.call("CREATE", CreateArgs("f"))
+        fid = created.result.fileid
+        reply = yield from client.call(
+            "WRITE", WriteArgs(fid, 0, 8192), size=write_call_size(8192)
+        )
+        assert reply.result.committed is Stable.UNSTABLE
+        before = client.sim.now
+        yield from client.call("COMMIT", CommitArgs(fid))
+        return client.sim.now - before
+
+    commit_time = client.run(body())
+    file = next(iter(client.server.files.values()))
+    assert file.dirty_bytes == 0
+    assert file.stable_bytes >= 8192
+    assert client.server.disk.bytes_written >= 8192
+    assert commit_time > 0
+
+
+def test_linux_server_data_sync_write_forced_to_disk():
+    client = Client(LinuxNfsServer)
+
+    def body():
+        created = yield from client.call("CREATE", CreateArgs("f"))
+        fid = created.result.fileid
+        reply = yield from client.call(
+            "WRITE",
+            WriteArgs(fid, 0, 8192, stable=Stable.FILE_SYNC),
+            size=write_call_size(8192),
+        )
+        return reply.result
+
+    result = client.run(body())
+    assert result.committed is Stable.FILE_SYNC
+    assert client.server.disk.bytes_written >= 8192
+
+
+def test_server_ingest_rate_bounds_throughput():
+    client = Client(
+        SimpleNfsServer, {"ingest_bytes_per_sec": 10 * MB, "name": "slow"}
+    )
+
+    def body():
+        created = yield from client.call("CREATE", CreateArgs("f"))
+        fid = created.result.fileid
+        start = client.sim.now
+        total = 2 * MB
+        offset = 0
+        while offset < total:
+            yield from client.call(
+                "WRITE", WriteArgs(fid, offset, 8192), size=write_call_size(8192)
+            )
+            offset += 8192
+        return total / ((client.sim.now - start) / 1e9)
+
+    rate = client.run(body())
+    # Synchronous single-stream calls: bounded by ingest (plus RTT).
+    assert rate < 10.5 * MB
+
+
+def test_unknown_procedure_rejected():
+    client = Client(SimpleNfsServer, {"ingest_bytes_per_sec": 10 * MB})
+
+    def body():
+        yield from client.call("MKNOD", None)
+
+    with pytest.raises(ProtocolError):
+        client.run(body())
+
+
+def test_stale_file_handle_rejected():
+    client = Client(SimpleNfsServer, {"ingest_bytes_per_sec": 10 * MB})
+
+    def body():
+        yield from client.call(
+            "WRITE", WriteArgs(99, 0, 100), size=write_call_size(100)
+        )
+
+    with pytest.raises(ProtocolError):
+        client.run(body())
+
+
+def test_pause_and_resume_stalls_service():
+    client = Client(SimpleNfsServer, {"ingest_bytes_per_sec": 100 * MB})
+    client.server.pause()
+    client.sim.schedule(ms(10), client.server.resume)
+
+    def body():
+        created = yield from client.call("CREATE", CreateArgs("f"))
+        return client.sim.now
+
+    finished = client.run(body())
+    assert finished >= ms(10)

@@ -1,0 +1,76 @@
+"""Additional task-combinator and event-handle coverage."""
+
+from repro.sim import AllOf, Simulator
+
+
+def test_allof_with_all_already_done():
+    sim = Simulator()
+
+    def quick(v):
+        return v
+        yield  # pragma: no cover
+
+    def main():
+        tasks = [sim.spawn(quick(1)), sim.spawn(quick(2))]
+        yield sim.timeout(100)  # both finished long ago
+        results = yield AllOf(tasks)
+        return results
+
+    m = sim.spawn(main())
+    sim.run()
+    assert m.result == [1, 2]
+
+
+def test_allof_empty_list():
+    sim = Simulator()
+
+    def main():
+        results = yield AllOf([])
+        return results
+
+    m = sim.spawn(main())
+    sim.run()
+    assert m.result == []
+
+
+def test_allof_with_prefailed_task():
+    sim = Simulator()
+
+    def boom():
+        raise ValueError("pre")
+        yield  # pragma: no cover
+
+    def main():
+        bad = sim.spawn(boom(), daemon=True)
+        yield sim.timeout(10)
+        try:
+            yield AllOf([bad])
+        except ValueError:
+            return "caught"
+        return "missed"
+
+    m = sim.spawn(main())
+    sim.run()
+    assert m.result == "caught"
+
+
+def test_cancelled_handle_not_counted_as_fired():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(10, fired.append, "keep")
+    drop = sim.schedule(10, fired.append, "drop")
+    drop.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.cancelled is False
+    assert drop.cancelled is True
+
+
+def test_pending_events_counts_queue():
+    sim = Simulator()
+    assert sim.pending_events() == 0
+    sim.schedule(5, lambda: None)
+    sim.schedule(7, lambda: None)
+    assert sim.pending_events() == 2
+    sim.run()
+    assert sim.pending_events() == 0

@@ -1,0 +1,158 @@
+"""Unit tests for the CPU model and sampling profiler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    PRIO_INTERRUPT,
+    PRIO_USER,
+    CpuSet,
+    SamplingProfiler,
+    Simulator,
+)
+from repro.units import us
+
+
+def test_single_cpu_serializes_work():
+    sim = Simulator()
+    cpus = CpuSet(sim, 1)
+    finished = []
+
+    def worker(tag):
+        yield from cpus.execute(us(10), label=f"w{tag}")
+        finished.append((tag, sim.now))
+
+    sim.spawn(worker(0))
+    sim.spawn(worker(1))
+    sim.run()
+    assert finished == [(0, us(10)), (1, us(20))]
+
+
+def test_two_cpus_run_in_parallel():
+    sim = Simulator()
+    cpus = CpuSet(sim, 2)
+    finished = []
+
+    def worker(tag):
+        yield from cpus.execute(us(10), label="work")
+        finished.append((tag, sim.now))
+
+    sim.spawn(worker(0))
+    sim.spawn(worker(1))
+    sim.run()
+    assert finished == [(0, us(10)), (1, us(10))]
+
+
+def test_priority_queue_prefers_interrupts():
+    sim = Simulator()
+    cpus = CpuSet(sim, 1)
+    order = []
+
+    def hog():
+        yield from cpus.execute(us(10), label="hog")
+        order.append("hog")
+
+    def user():
+        yield sim.timeout(1)
+        yield from cpus.execute(us(5), label="user", priority=PRIO_USER)
+        order.append("user")
+
+    def intr():
+        yield sim.timeout(2)
+        yield from cpus.execute(us(1), label="intr", priority=PRIO_INTERRUPT)
+        order.append("intr")
+
+    sim.spawn(hog())
+    sim.spawn(user())
+    sim.spawn(intr())
+    sim.run()
+    assert order == ["hog", "intr", "user"]
+
+
+def test_time_accounting_by_label():
+    sim = Simulator()
+    cpus = CpuSet(sim, 2)
+
+    def worker():
+        yield from cpus.execute(us(10), label="alpha")
+        yield from cpus.execute(us(20), label="beta")
+        yield from cpus.execute(us(5), label="alpha")
+
+    sim.spawn(worker())
+    sim.run()
+    assert cpus.time_by_label == {"alpha": us(15), "beta": us(20)}
+    assert cpus.total_busy_ns == us(35)
+    assert cpus.top_labels() == [("beta", us(20)), ("alpha", us(15))]
+
+
+def test_zero_duration_execute_is_free():
+    sim = Simulator()
+    cpus = CpuSet(sim, 1)
+
+    def worker():
+        yield from cpus.execute(0, label="nothing")
+        return sim.now
+
+    task = sim.spawn(worker())
+    sim.run()
+    assert task.result == 0
+    assert "nothing" not in cpus.time_by_label
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    cpus = CpuSet(sim, 1)
+
+    def worker():
+        yield from cpus.execute(-1)
+
+    sim.spawn(worker(), daemon=True)
+    sim.run()
+
+
+def test_utilization():
+    sim = Simulator()
+    cpus = CpuSet(sim, 2)
+
+    def worker():
+        yield from cpus.execute(us(10), label="w")
+
+    sim.spawn(worker())
+    sim.run(until=us(10))
+    assert cpus.utilization() == pytest.approx(0.5)
+
+
+def test_need_at_least_one_cpu():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        CpuSet(sim, 0)
+
+
+def test_profiler_samples_busy_labels():
+    sim = Simulator()
+    cpus = CpuSet(sim, 1)
+    prof = SamplingProfiler(sim, cpus, period=us(1))
+
+    def worker():
+        yield from cpus.execute(us(100), label="hot")
+        yield from cpus.execute(us(10), label="cool")
+
+    prof.start()
+    sim.spawn(worker())
+    sim.run(until=us(110))
+    prof.stop()
+    top = prof.top(2)
+    assert top[0][0] == "hot"
+    assert prof.fraction("hot") > prof.fraction("cool")
+    assert "samples" in prof.report()
+
+
+def test_profiler_counts_idle():
+    sim = Simulator()
+    cpus = CpuSet(sim, 1)
+    prof = SamplingProfiler(sim, cpus, period=us(1))
+    prof.start()
+    sim.run(until=us(50))
+    prof.stop()
+    assert prof.samples.get(SamplingProfiler.IDLE, 0) == 50
+    assert prof.fraction("anything") == 0.0

@@ -1,0 +1,58 @@
+"""Tests for RNG streams and the tracer."""
+
+from repro.sim import RngStreams, Simulator, Tracer
+
+
+def test_named_streams_are_independent():
+    streams = RngStreams(seed=42)
+    a1 = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    # Fresh factory, draw from b first: a's sequence must not change.
+    streams2 = RngStreams(seed=42)
+    [streams2.stream("b").random() for _ in range(5)]
+    a2 = [streams2.stream("a").random() for _ in range(5)]
+    assert a1 == a2
+    assert a1 != b
+
+
+def test_streams_depend_on_seed():
+    a = RngStreams(seed=1).stream("x").random()
+    b = RngStreams(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RngStreams()
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_tracer_disabled_by_default():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.record("comp", "event", value=1)
+    assert len(tracer) == 0
+
+
+def test_tracer_records_and_filters():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    sim.schedule(10, lambda: tracer.record("rpc", "send", xid=1))
+    sim.schedule(20, lambda: tracer.record("rpc", "reply", xid=1))
+    sim.schedule(30, lambda: tracer.record("vm", "charge", bytes=4096))
+    sim.run()
+    assert len(tracer) == 3
+    assert [r.kind for r in tracer.records(component="rpc")] == ["send", "reply"]
+    reply = tracer.records(kind="reply")[0]
+    assert reply.time == 20
+    assert reply.fields == {"xid": 1}
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_tracer_ring_is_bounded():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=10, enabled=True)
+    for i in range(25):
+        tracer.record("c", "k", i=i)
+    assert len(tracer) == 10
+    assert tracer.records()[0].fields["i"] == 15

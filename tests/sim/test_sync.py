@@ -1,0 +1,292 @@
+"""Unit tests for synchronization primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Event, Lock, MonitoredLock, Semaphore, Simulator, WaitQueue
+
+
+# --- Event -----------------------------------------------------------------
+
+
+def test_event_wakes_waiters_with_value():
+    sim = Simulator()
+    ev = Event(sim)
+    results = []
+
+    def waiter(tag):
+        value = yield ev
+        results.append((tag, value, sim.now))
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.schedule(100, ev.trigger, "payload")
+    sim.run()
+    assert results == [("a", "payload", 100), ("b", "payload", 100)]
+
+
+def test_event_after_fire_resumes_immediately():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger("x")
+
+    def late():
+        value = yield ev
+        return value
+
+    task = sim.spawn(late())
+    sim.run()
+    assert task.result == "x"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.trigger()
+
+
+# --- Lock --------------------------------------------------------------------
+
+
+def test_lock_mutual_exclusion():
+    sim = Simulator()
+    lock = Lock(sim)
+    inside = []
+    max_inside = []
+
+    def worker(tag):
+        yield lock.acquire()
+        inside.append(tag)
+        max_inside.append(len(inside))
+        yield sim.timeout(10)
+        inside.remove(tag)
+        lock.release()
+
+    for tag in range(5):
+        sim.spawn(worker(tag))
+    sim.run()
+    assert max(max_inside) == 1
+    assert sim.now == 50
+
+
+def test_lock_fifo_order():
+    sim = Simulator()
+    lock = Lock(sim)
+    order = []
+
+    def worker(tag):
+        yield lock.acquire()
+        order.append(tag)
+        yield sim.timeout(1)
+        lock.release()
+
+    for tag in range(8):
+        sim.spawn(worker(tag))
+    sim.run()
+    assert order == list(range(8))
+
+
+def test_lock_release_unlocked_rejected():
+    sim = Simulator()
+    lock = Lock(sim)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+# --- MonitoredLock --------------------------------------------------------------
+
+
+def test_monitored_lock_reentrant():
+    sim = Simulator()
+    mlock = MonitoredLock(sim, "bkl")
+
+    def worker():
+        yield from mlock.acquire("outer")
+        yield from mlock.acquire("inner")
+        assert mlock.depth == 2
+        yield sim.timeout(10)
+        mlock.release()
+        assert mlock.locked
+        mlock.release()
+        assert not mlock.locked
+
+    sim.spawn(worker())
+    sim.run()
+
+
+def test_monitored_lock_contention_stats():
+    sim = Simulator()
+    mlock = MonitoredLock(sim, "bkl")
+
+    def holder():
+        yield from mlock.acquire("holder")
+        yield sim.timeout(100)
+        mlock.release()
+
+    def contender():
+        yield sim.timeout(10)
+        yield from mlock.acquire("contender")
+        mlock.release()
+
+    sim.spawn(holder())
+    sim.spawn(contender())
+    sim.run()
+    assert mlock.stats.acquisitions == 2
+    assert mlock.stats.contended == 1
+    assert mlock.stats.total_wait_ns == 90
+    assert mlock.stats.wait_by_label["contender"] == 90
+    assert mlock.stats.hold_by_label["holder"] == 100
+    assert mlock.stats.contention_ratio == 0.5
+
+
+def test_monitored_lock_release_by_non_owner_rejected():
+    sim = Simulator()
+    mlock = MonitoredLock(sim, "bkl")
+
+    def holder():
+        yield from mlock.acquire("h")
+        yield sim.timeout(100)
+        mlock.release()
+
+    def thief():
+        yield sim.timeout(10)
+        mlock.release()
+
+    sim.spawn(holder())
+    sim.spawn(thief())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_monitored_lock_hold_helper():
+    sim = Simulator()
+    mlock = MonitoredLock(sim, "bkl")
+
+    def body():
+        yield sim.timeout(25)
+        return "done"
+
+    def worker():
+        result = yield from mlock.hold("work", body())
+        assert not mlock.locked
+        return result
+
+    task = sim.spawn(worker())
+    sim.run()
+    assert task.result == "done"
+    assert mlock.stats.hold_by_label["work"] == 25
+
+
+def test_monitored_lock_fifo_handoff():
+    sim = Simulator()
+    mlock = MonitoredLock(sim, "bkl")
+    order = []
+
+    def worker(tag, start):
+        yield sim.timeout(start)
+        yield from mlock.acquire(str(tag))
+        order.append(tag)
+        yield sim.timeout(50)
+        mlock.release()
+
+    for tag in range(4):
+        sim.spawn(worker(tag, tag))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+# --- Semaphore ---------------------------------------------------------------
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, 2)
+    active = []
+    peak = []
+
+    def worker(tag):
+        yield sem.acquire()
+        active.append(tag)
+        peak.append(len(active))
+        yield sim.timeout(10)
+        active.remove(tag)
+        sem.release()
+
+    for tag in range(6):
+        sim.spawn(worker(tag))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == 30
+
+
+def test_semaphore_negative_initial_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Semaphore(sim, -1)
+
+
+# --- WaitQueue ---------------------------------------------------------------
+
+
+def test_waitqueue_wake_all():
+    sim = Simulator()
+    wq = WaitQueue(sim)
+    woken = []
+
+    def sleeper(tag):
+        yield from wq.sleep()
+        woken.append((tag, sim.now))
+
+    sim.spawn(sleeper("a"))
+    sim.spawn(sleeper("b"))
+    sim.schedule(40, wq.wake_all)
+    sim.run()
+    assert woken == [("a", 40), ("b", 40)]
+    assert wq.total_sleeps == 2
+    assert wq.total_sleep_ns == 80
+
+
+def test_waitqueue_wake_one_is_fifo():
+    sim = Simulator()
+    wq = WaitQueue(sim)
+    woken = []
+
+    def sleeper(tag):
+        yield from wq.sleep()
+        woken.append(tag)
+
+    for tag in range(3):
+        sim.spawn(sleeper(tag))
+    sim.schedule(10, wq.wake_one)
+    sim.schedule(20, wq.wake_one)
+    sim.run()
+    assert woken == [0, 1]
+    assert wq.sleeping == 1
+    wq.wake_all()
+    sim.run()
+    assert woken == [0, 1, 2]
+
+
+def test_waitqueue_wait_until_rechecks_predicate():
+    sim = Simulator()
+    wq = WaitQueue(sim)
+    state = {"ready": False}
+    log = []
+
+    def waiter():
+        yield from wq.wait_until(lambda: state["ready"])
+        log.append(sim.now)
+
+    def spurious_then_real():
+        yield sim.timeout(10)
+        wq.wake_all()  # spurious: predicate still false
+        yield sim.timeout(10)
+        state["ready"] = True
+        wq.wake_all()
+
+    sim.spawn(waiter())
+    sim.spawn(spurious_then_real())
+    sim.run()
+    assert log == [20]

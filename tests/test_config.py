@@ -1,0 +1,82 @@
+"""Tests for configuration validation and the scaling helper."""
+
+import pytest
+
+from repro.config import (
+    ClientHwConfig,
+    CpuCosts,
+    MAX_REQUEST_HARD,
+    MAX_REQUEST_SOFT,
+    MountConfig,
+    NetConfig,
+    NfsClientConfig,
+    scaled,
+)
+from repro.errors import ConfigError
+
+
+def test_paper_constants():
+    assert MAX_REQUEST_SOFT == 192
+    assert MAX_REQUEST_HARD == 256
+
+
+def test_client_hw_defaults_match_paper():
+    hw = ClientHwConfig()
+    assert hw.ncpus == 2
+    assert hw.ram_bytes == 256 * 1024 * 1024
+    assert hw.cache_bytes < hw.ram_bytes
+    assert hw.dirty_limit_bytes < hw.cache_bytes
+    assert hw.dirty_background_bytes < hw.dirty_limit_bytes
+
+
+def test_client_hw_validation():
+    with pytest.raises(ConfigError):
+        ClientHwConfig(ncpus=0)
+    with pytest.raises(ConfigError):
+        ClientHwConfig(ram_bytes=100, reserved_bytes=100)
+    with pytest.raises(ConfigError):
+        ClientHwConfig(dirty_limit_fraction=0.0)
+
+
+def test_sock_sendmsg_cost_matches_paper():
+    assert CpuCosts().sock_sendmsg == 50_000  # 50 us, §3.5
+
+
+def test_net_config_presets():
+    gige = NetConfig.gigabit()
+    assert gige.mtu == 1500
+    jumbo = NetConfig.gigabit(jumbo=True)
+    assert jumbo.mtu == 9000
+    fast = NetConfig.fast_ethernet()
+    assert fast.bandwidth_bytes_per_sec < gige.bandwidth_bytes_per_sec
+    with pytest.raises(ConfigError):
+        NetConfig(mtu=40)
+
+
+def test_mount_config_validation():
+    mount = MountConfig()
+    assert mount.wsize == 8192
+    assert mount.nfs_version == 3
+    with pytest.raises(ConfigError):
+        MountConfig(wsize=5000)
+    with pytest.raises(ConfigError):
+        MountConfig(nfs_version=4)
+
+
+def test_client_config_labels():
+    assert NfsClientConfig().label() == "stock-flush+list+bkl"
+    enhanced = NfsClientConfig(
+        eager_flush_limits=False, hashtable_index=True, release_bkl_for_send=True
+    )
+    assert enhanced.label() == "lazy-flush+hash+nolock"
+
+
+def test_scaled_shrinks_capacity_not_costs():
+    hw = ClientHwConfig()
+    small = scaled(hw, 4)
+    assert small.ram_bytes == hw.ram_bytes // 4
+    assert small.reserved_bytes == hw.reserved_bytes // 4
+    assert small.costs == hw.costs
+    assert small.ncpus == hw.ncpus
+    with pytest.raises(ConfigError):
+        scaled(hw, 0)

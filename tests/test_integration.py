@@ -1,0 +1,151 @@
+"""Cross-cutting integration tests at the paper level."""
+
+import pytest
+
+from repro.bench import TestBed
+from repro.config import NfsClientConfig
+from repro.nfsclient import VARIANT_ORDER
+from repro.units import MB, PAGE_SIZE
+
+
+def test_variant_progression_improves_throughput():
+    """The paper's storyline: each patch (or patch set) helps.
+
+    stock -> noflush fixes spikes (but list scans bite on large files);
+    noflush -> hashtable fixes the scans; hashtable -> nolock fixes SMP
+    contention.  Throughput must be monotone along stock, hashtable,
+    nolock for a mid-size file.
+    """
+    results = {}
+    for variant in VARIANT_ORDER:
+        bed = TestBed(target="netapp", client=variant)
+        results[variant] = bed.run_sequential_write(20 * MB).write_mbps
+    assert results["hashtable"] > results["stock"] * 2
+    assert results["nolock"] > results["hashtable"]
+    # noflush alone beats stock on this size despite the list scans.
+    assert results["noflush"] > results["stock"]
+
+
+def test_abstract_headline_threefold_improvement():
+    """Abstract: 'Memory write throughput to NFS files improves by more
+    than a factor of three.'"""
+    stock = TestBed(target="netapp", client="stock").run_sequential_write(30 * MB)
+    enhanced = TestBed(target="netapp", client="enhanced").run_sequential_write(30 * MB)
+    assert enhanced.write_throughput > 3 * stock.write_throughput
+
+
+def test_two_files_interleaved_writes():
+    bed = TestBed(target="netapp", client="enhanced")
+
+    def body():
+        a = yield from bed.nfs.open_new("a")
+        b = yield from bed.nfs.open_new("b")
+        for _ in range(64):
+            yield from bed.syscalls.write(a, 8192)
+            yield from bed.syscalls.write(b, 8192)
+        yield from bed.syscalls.close(a)
+        yield from bed.syscalls.close(b)
+
+    task = bed.sim.spawn(body())
+    bed.sim.run_until(lambda: task.done)
+    assert task.error is None
+    sizes = sorted(f.size for f in bed.server.files.values())
+    assert sizes == [64 * 8192, 64 * 8192]
+    assert all(inode.is_clean() for inode in bed.nfs.inodes())
+
+
+def test_two_concurrent_writer_processes():
+    """Two writers to separate files share the client sanely."""
+    bed = TestBed(target="netapp", client="enhanced")
+    done = []
+
+    def writer(name, nbytes):
+        file = yield from bed.nfs.open_new(name)
+        remaining = nbytes
+        while remaining:
+            chunk = min(8192, remaining)
+            yield from bed.syscalls.write(file, chunk)
+            remaining -= chunk
+        yield from bed.syscalls.close(file)
+        done.append(name)
+
+    bed.sim.spawn(writer("a", 2 * MB))
+    bed.sim.spawn(writer("b", 1 * MB))
+    bed.sim.run_until(lambda: len(done) == 2)
+    total = sum(f.size for f in bed.server.files.values())
+    assert total == 3 * MB
+    assert bed.pagecache.dirty_bytes == 0
+
+
+def test_rewrite_same_page_waits_for_inflight_request():
+    """Overlapping rewrite of an in-flight page must wait (write order)."""
+    bed = TestBed(target="netapp", client="enhanced")
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        yield from bed.syscalls.write(file, 8192)  # schedules an RPC
+        file.pos = 0
+        yield from bed.syscalls.write(file, 8192)  # rewrites pages 0-1
+        yield from bed.syscalls.close(file)
+
+    task = bed.sim.spawn(body())
+    bed.sim.run_until(lambda: task.done)
+    assert task.error is None
+    assert bed.nfs.stats.page_waits >= 1
+    file = next(iter(bed.server.files.values()))
+    assert file.size == 8192
+
+
+def test_sparse_writes_commit_partial_groups():
+    """Non-contiguous dirty pages still flush correctly at close."""
+    bed = TestBed(target="netapp", client="enhanced")
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        for pos in (0, 3 * PAGE_SIZE, 10 * PAGE_SIZE):
+            file.pos = pos
+            yield from bed.syscalls.write(file, PAGE_SIZE)
+        yield from bed.syscalls.close(file)
+
+    task = bed.sim.spawn(body())
+    bed.sim.run_until(lambda: task.done)
+    assert task.error is None
+    assert bed.nfs.live_requests == 0
+    server_file = next(iter(bed.server.files.values()))
+    assert server_file.size == 11 * PAGE_SIZE
+
+
+def test_fsync_midstream_then_more_writes():
+    bed = TestBed(target="linux", client="enhanced")
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        for _ in range(10):
+            yield from bed.syscalls.write(file, 8192)
+        yield from bed.syscalls.fsync(file)
+        dirty_after_fsync = bed.pagecache.dirty_bytes
+        for _ in range(10):
+            yield from bed.syscalls.write(file, 8192)
+        yield from bed.syscalls.close(file)
+        return dirty_after_fsync
+
+    task = bed.sim.spawn(body())
+    bed.sim.run_until(lambda: task.done)
+    assert task.error is None
+    assert task.result == 0  # fsync made everything stable
+    server_file = next(iter(bed.server.files.values()))
+    assert server_file.stable_bytes >= 20 * 8192
+
+
+def test_determinism_across_full_stack():
+    def one():
+        bed = TestBed(target="linux", client="stock")
+        result = bed.run_sequential_write(3 * MB)
+        return (
+            result.trace.latencies_ns,
+            bed.nfs.stats.writes_sent,
+            bed.nfs.stats.commits_sent,
+            bed.server.disk.bytes_written,
+        )
+
+    assert one() == one()

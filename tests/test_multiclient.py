@@ -1,0 +1,79 @@
+"""Multiple client machines against one server.
+
+§2.1: NFS is "client makes right" — the server stays simple and
+scalable.  Several independent client machines should saturate the
+server's ingest rate, with the bottleneck visibly moving from client
+scalability to server throughput.
+"""
+
+from repro.config import ClientHwConfig, NetConfig, NfsClientConfig
+from repro.kernel import PageCache, SyscallLayer
+from repro.net import Host, Switch
+from repro.nfsclient import NfsClient
+from repro.server import NetappFiler
+from repro.sim import Simulator
+from repro.units import MB, mbps
+
+LAZY = NfsClientConfig(
+    eager_flush_limits=False, hashtable_index=True, release_bkl_for_send=True
+)
+
+
+def build_world(nclients):
+    sim = Simulator()
+    switch = Switch(sim)
+    net = NetConfig.gigabit()
+    server = NetappFiler(sim, switch, net)
+    hw = ClientHwConfig()
+    clients = []
+    for i in range(nclients):
+        host = Host(sim, f"client{i}", switch, net, ncpus=hw.ncpus, costs=hw.costs)
+        pagecache = PageCache(
+            sim, hw.dirty_limit_bytes, hw.dirty_background_bytes,
+            name=f"pc{i}",
+        )
+        nfs = NfsClient(host, pagecache, server=server.name, behavior=LAZY)
+        clients.append((host, nfs, SyscallLayer(host)))
+    return sim, server, clients
+
+
+def run_writers(sim, clients, bytes_each):
+    done = []
+
+    def writer(nfs, syscalls, tag):
+        file = yield from nfs.open_new(f"f{tag}")
+        remaining = bytes_each
+        while remaining > 0:
+            chunk = min(8192, remaining)
+            yield from syscalls.write(file, chunk)
+            remaining -= chunk
+        yield from syscalls.close(file)
+        done.append(tag)
+
+    start = sim.now
+    for i, (_host, nfs, syscalls) in enumerate(clients):
+        sim.spawn(writer(nfs, syscalls, i), daemon=True)
+    sim.run_until(lambda: len(done) == len(clients))
+    return sim.now - start
+
+
+def test_clients_share_server_fairly_and_saturate_it():
+    sim, server, clients = build_world(3)
+    elapsed = run_writers(sim, clients, 3 * MB)
+    total = 9 * MB
+    agg = total / (elapsed / 1e9)
+    # Aggregate end-to-end throughput lands at the server's ingest rate.
+    assert 0.6 * mbps(38) < agg <= 1.1 * mbps(38)
+    assert server.bytes_received == total
+    sizes = sorted(f.size for f in server.files.values())
+    assert sizes == [3 * MB] * 3
+
+
+def test_one_client_vs_three_server_bound():
+    sim1, _server1, clients1 = build_world(1)
+    t1 = run_writers(sim1, clients1, 3 * MB)
+    sim3, _server3, clients3 = build_world(3)
+    t3 = run_writers(sim3, clients3, 3 * MB)
+    # Three clients move 3x the data in roughly 3x the time: the server,
+    # not the clients, is the bottleneck.
+    assert t3 > 2.0 * t1

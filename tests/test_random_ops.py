@@ -1,0 +1,102 @@
+"""End-to-end property test: random op sequences vs a reference model.
+
+Hypothesis drives arbitrary interleavings of write/seek/read/fsync
+against the full client/network/server stack and checks the observable
+invariants against a trivial in-memory reference: final file size,
+bytes durable after fsync, cache cleanliness after close, and page
+accounting returning to zero.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import TestBed
+from repro.config import NfsClientConfig
+from repro.units import PAGE_SIZE
+
+LAZY = NfsClientConfig(eager_flush_limits=False, hashtable_index=True)
+STOCK = NfsClientConfig()
+
+MAX_EXTENT = 64 * PAGE_SIZE
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(min_value=1, max_value=20_000)),
+        st.tuples(st.just("seek"), st.integers(min_value=0, max_value=MAX_EXTENT)),
+        st.tuples(st.just("read"), st.integers(min_value=1, max_value=20_000)),
+        st.tuples(st.just("fsync"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_ops(ops, client_config, target="netapp"):
+    bed = TestBed(target=target, client=client_config)
+    model = {"size": 0, "pos": 0}
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        for op, arg in ops:
+            if op == "write":
+                yield from bed.syscalls.write(file, arg)
+                model["size"] = max(model["size"], model["pos"] + arg)
+                model["pos"] += arg
+            elif op == "seek":
+                file.pos = arg
+                model["pos"] = arg
+            elif op == "read":
+                n = yield from bed.syscalls.read(file, arg)
+                expected = max(0, min(arg, model["size"] - model["pos"]))
+                assert n == expected
+                model["pos"] += expected
+            else:
+                yield from bed.syscalls.fsync(file)
+                assert bed.pagecache.dirty_bytes == 0
+        yield from bed.syscalls.close(file)
+
+    task = bed.sim.spawn(body(), daemon=True)
+    bed.sim.run_until(lambda: task.done, limit=600_000_000_000)
+    if task.error:
+        raise task.error
+    return bed, model
+
+
+@given(op_strategy)
+@settings(max_examples=25, deadline=None)
+def test_random_ops_lazy_client_against_filer(ops):
+    bed, model = run_ops(ops, LAZY, target="netapp")
+    server_file = next(iter(bed.server.files.values()))
+    assert server_file.size == model["size"]
+    assert bed.pagecache.dirty_bytes == 0
+    assert bed.nfs.live_requests == 0
+    assert len(bed.nfs.index) == 0
+    inode = next(iter(bed.nfs.inodes()))
+    assert inode.is_clean()
+
+
+@given(op_strategy)
+@settings(max_examples=15, deadline=None)
+def test_random_ops_stock_client_against_linux_server(ops):
+    bed, model = run_ops(ops, STOCK, target="linux")
+    server_file = next(iter(bed.server.files.values()))
+    assert server_file.size == model["size"]
+    # Everything durable after close (close flushes + commits).
+    assert server_file.dirty_bytes == 0
+    assert bed.pagecache.dirty_bytes == 0
+    assert bed.nfs.writeback_count == 0
+
+
+@given(op_strategy)
+@settings(max_examples=10, deadline=None)
+def test_random_ops_deterministic(ops):
+    def fingerprint():
+        bed, _model = run_ops(ops, LAZY)
+        return (
+            bed.sim.now,
+            bed.nfs.stats.writes_sent,
+            bed.nfs.stats.reads_sent,
+            bed.nfs.stats.bytes_sent,
+        )
+
+    assert fingerprint() == fingerprint()

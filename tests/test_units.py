@@ -1,0 +1,65 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_time_conversions_round_trip():
+    assert units.us(1) == 1_000
+    assert units.ms(1) == 1_000_000
+    assert units.seconds(1) == 1_000_000_000
+    assert units.to_us(units.us(123.5)) == pytest.approx(123.5)
+    assert units.to_ms(units.ms(7)) == 7
+    assert units.to_seconds(units.seconds(2.5)) == 2.5
+
+
+def test_data_sizes():
+    assert units.kib(1) == 1024
+    assert units.mib(2) == 2 * 1024 * 1024
+    assert units.PAGE_SIZE == 4096
+    assert units.pages(1) == 1
+    assert units.pages(4096) == 1
+    assert units.pages(4097) == 2
+    assert units.pages(8192) == 2
+
+
+def test_rates():
+    assert units.mbps(1) == 1_000_000
+    assert units.gbit(1) == 125_000_000
+    assert units.mbit(100) == 12_500_000
+    assert units.to_mbps(38_000_000) == 38.0
+
+
+def test_transfer_time():
+    # 1 MB at 1 MB/s = 1 second.
+    assert units.transfer_time(1_000_000, 1_000_000) == units.seconds(1)
+    assert units.transfer_time(0, 100) == 0
+    assert units.transfer_time(1, 1e12) == 1  # floor of 1 ns
+    with pytest.raises(ValueError):
+        units.transfer_time(10, 0)
+
+
+def test_throughput():
+    assert units.throughput(1_000_000, units.seconds(1)) == 1_000_000
+    assert units.throughput(100, 0) == 0.0
+
+
+@given(
+    st.integers(min_value=1, max_value=10**12),
+    st.floats(min_value=1e3, max_value=1e12, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_transfer_throughput_inverse(nbytes, rate):
+    elapsed = units.transfer_time(nbytes, rate)
+    assert elapsed >= 1
+    recovered = units.throughput(nbytes, elapsed)
+    if elapsed >= 1000:
+        # With a long enough transfer, ns rounding error is negligible.
+        assert recovered == pytest.approx(rate, rel=0.01)
+    else:
+        # Very short transfers round up to at least 1 ns, only ever
+        # underestimating throughput.
+        assert recovered <= rate * 1.5
