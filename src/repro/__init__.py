@@ -33,8 +33,10 @@ from .config import (
     NfsClientConfig,
     scaled,
 )
-from .experiments import experiment_ids, get_experiment
+from .cache import ResultCache
+from .experiments import ExecutionContext, experiment_ids, get_experiment
 from .nfsclient import VARIANTS, variant_config
+from .parallel import JobSpec, PointResult, SweepExecutor
 
 __version__ = "1.0.0"
 
@@ -56,5 +58,10 @@ __all__ = [
     "variant_config",
     "experiment_ids",
     "get_experiment",
+    "ExecutionContext",
+    "JobSpec",
+    "PointResult",
+    "SweepExecutor",
+    "ResultCache",
     "__version__",
 ]

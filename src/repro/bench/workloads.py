@@ -28,6 +28,7 @@ __all__ = [
     "transaction_log",
     "random_writer",
     "sweep_file_sizes",
+    "parallel_size_sweep",
 ]
 
 
@@ -152,10 +153,46 @@ def sweep_file_sizes(make_bed, sizes_bytes, chunk_bytes: int = 8192):
     """Fresh test bed per size; returns [(size, BenchmarkResult)].
 
     ``make_bed`` is a zero-argument factory (each run needs a pristine
-    simulated world).
+    simulated world).  Factories are arbitrary closures, so this sweep
+    is inherently serial; when the points can be described as plain
+    configuration, use :func:`parallel_size_sweep` instead.
     """
     out = []
     for size in sizes_bytes:
         bed = make_bed()
         out.append((size, bed.run_sequential_write(size, chunk_bytes=chunk_bytes)))
     return out
+
+
+def parallel_size_sweep(
+    target: str,
+    client,
+    sizes_bytes,
+    chunk_bytes: int = 8192,
+    jobs: int = 1,
+    cache=None,
+    **bed_kwargs,
+):
+    """Config-described size sweep; returns [(size, PointResult)].
+
+    The picklable cousin of :func:`sweep_file_sizes`: each point becomes
+    a :class:`~repro.parallel.JobSpec` (``bed_kwargs`` may carry ``hw``,
+    ``mount``, ``filer_config``...) and runs through a
+    :class:`~repro.parallel.SweepExecutor`, fanning out over ``jobs``
+    worker processes and reusing ``cache`` hits.  Results are identical
+    to the serial sweep — every point is its own deterministic world.
+    """
+    from ..parallel import JobSpec, SweepExecutor
+
+    specs = [
+        JobSpec(
+            target=target,
+            client=client,
+            file_bytes=size,
+            chunk_bytes=chunk_bytes,
+            **bed_kwargs,
+        )
+        for size in sizes_bytes
+    ]
+    results = SweepExecutor(jobs=jobs, cache=cache).map(specs)
+    return list(zip(sizes_bytes, results))

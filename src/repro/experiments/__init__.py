@@ -1,11 +1,18 @@
 """Experiment reproductions of the paper's tables and figures."""
 
-from .base import Experiment, ExperimentResult, format_table, scaled_configs
+from .base import (
+    ExecutionContext,
+    Experiment,
+    ExperimentResult,
+    format_table,
+    scaled_configs,
+)
 from .registry import EXPERIMENTS, experiment_ids, get_experiment
 
 __all__ = [
     "Experiment",
     "ExperimentResult",
+    "ExecutionContext",
     "EXPERIMENTS",
     "experiment_ids",
     "get_experiment",

@@ -16,16 +16,37 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis import Comparison
+from ..cache import ResultCache
 from ..config import ClientHwConfig, FilerConfig, scaled
 from ..errors import ConfigError
+from ..parallel import SweepExecutor
 
 __all__ = [
     "Experiment",
     "ExperimentResult",
+    "ExecutionContext",
     "scaled_configs",
     "format_table",
     "export_result",
 ]
+
+
+@dataclass
+class ExecutionContext:
+    """How an experiment's sweep points should be executed.
+
+    ``jobs`` is the process-pool width (1 = in-process serial), ``cache``
+    an optional :class:`~repro.cache.ResultCache`.  The defaults
+    reproduce the historical behaviour: serial, uncached.  Execution
+    mode never changes results — every point is an independent
+    deterministic simulation — only wall-clock time.
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+
+    def executor(self) -> SweepExecutor:
+        return SweepExecutor(jobs=self.jobs, cache=self.cache)
 
 
 @dataclass
@@ -58,17 +79,28 @@ class Experiment:
     id: str = ""
     title: str = ""
     paper_ref: str = ""
+    #: Execution context of the current run (set by :meth:`run`); sweep
+    #: experiments read it to parallelise/cache their points.
+    context: ExecutionContext = ExecutionContext()
 
-    def run(self, scale: float = 4.0, quick: bool = False) -> ExperimentResult:
+    def run(
+        self,
+        scale: float = 4.0,
+        quick: bool = False,
+        context: Optional[ExecutionContext] = None,
+    ) -> ExperimentResult:
         """Execute the experiment.
 
         ``scale`` shrinks client memory (and the filer's NVRAM) for the
         file-size sweeps per DESIGN.md §5; experiments that run at the
         paper's exact sizes ignore it.  ``quick`` reduces sizes/points
         for CI-speed runs while preserving every shape criterion.
+        ``context`` selects parallel/cached sweep execution; experiments
+        that are not sweeps ignore it.
         """
         if scale <= 0:
             raise ConfigError("scale must be positive")
+        self.context = context or ExecutionContext()
         comparison = Comparison(f"{self.id}: {self.title}")
         data: Dict[str, Any] = {}
         text = self._run(comparison, data, scale=scale, quick=quick)

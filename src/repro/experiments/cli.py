@@ -58,6 +58,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export each experiment's report/data/CSVs into this directory",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep points over N worker processes (0 = all cores; "
+        "results are identical to --jobs 1)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep point instead of reusing cached results",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: $REPRO_NFS_CACHE_DIR or "
+        "~/.cache/repro-nfs)",
+    )
     return parser
 
 
@@ -67,12 +87,16 @@ def run_experiments(
     quick: bool,
     out=sys.stdout,
     dump_dir: Optional[str] = None,
+    context: Optional["ExecutionContext"] = None,
 ) -> bool:
+    from .base import ExecutionContext
+
+    context = context or ExecutionContext()
     all_passed = True
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
         started = time.time()
-        result = experiment.run(scale=scale, quick=quick)
+        result = experiment.run(scale=scale, quick=quick, context=context)
         elapsed = time.time() - started
         out.write(result.render())
         out.write(f"\n({elapsed:.1f} s wall)\n\n")
@@ -86,7 +110,10 @@ def run_experiments(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 1) < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
     if args.command == "list":
         for experiment_id in experiment_ids():
             experiment = get_experiment(experiment_id)
@@ -94,8 +121,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     ids = experiment_ids() if "all" in args.ids else args.ids
     scale = 1.0 if args.full else args.scale
+    from ..cache import ResultCache
+    from ..parallel import default_jobs
+    from .base import ExecutionContext
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    context = ExecutionContext(
+        jobs=default_jobs() if args.jobs == 0 else args.jobs,
+        cache=cache,
+    )
     ok = run_experiments(
-        ids, scale=scale, quick=args.quick, dump_dir=args.dump_dir
+        ids, scale=scale, quick=args.quick, dump_dir=args.dump_dir,
+        context=context,
     )
     return 0 if ok else 1
 

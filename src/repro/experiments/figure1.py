@@ -7,17 +7,20 @@ throughput remains constrained to network/server throughput".
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..analysis import Comparison, mean, stddev
-from ..bench import TestBed
+from ..parallel import JobSpec
 from ..units import MB
-from .base import Experiment, format_table, scaled_configs
+from .base import ExecutionContext, Experiment, format_table, scaled_configs
 
 __all__ = ["Figure1"]
 
 #: Paper file sizes (MB), scaled down by the run's scale factor.
 PAPER_SIZES_MB = list(range(25, 451, 25))
+
+#: The three systems under test of Figs. 1 and 7.
+SWEEP_TARGETS = ("local", "netapp", "linux")
 
 
 def sweep_sizes(scale: float, quick: bool):
@@ -27,20 +30,43 @@ def sweep_sizes(scale: float, quick: bool):
     return [max(2, round(s / scale)) for s in sizes]
 
 
-def run_sweep(client_variant: str, scale: float, quick: bool) -> Dict[str, list]:
-    """One Fig. 1/7-style sweep.  Returns per-target MBps curves."""
+def sweep_specs(client_variant: str, scale: float, quick: bool):
+    """The (target x size) JobSpec grid of one Fig. 1/7-style sweep."""
     hw, filer = scaled_configs(scale)
     sizes_mb = sweep_sizes(scale, quick)
+    specs = [
+        JobSpec(
+            target=target,
+            client=client_variant,
+            file_bytes=size_mb * MB,
+            hw=hw,
+            filer_config=filer,
+        )
+        for target in SWEEP_TARGETS
+        for size_mb in sizes_mb
+    ]
+    return sizes_mb, specs
+
+
+def run_sweep(
+    client_variant: str,
+    scale: float,
+    quick: bool,
+    context: Optional[ExecutionContext] = None,
+) -> Dict[str, list]:
+    """One Fig. 1/7-style sweep.  Returns per-target MBps curves.
+
+    Points run through the ``context``'s :class:`SweepExecutor` —
+    serial, pooled, or cache-served, all numerically identical.
+    """
+    sizes_mb, specs = sweep_specs(client_variant, scale, quick)
+    results = (context or ExecutionContext()).executor().map(specs)
     curves: Dict[str, list] = {"sizes_mb": sizes_mb}
-    for target in ("local", "netapp", "linux"):
-        curve = []
-        for size_mb in sizes_mb:
-            bed = TestBed(
-                target=target, client=client_variant, hw=hw, filer_config=filer
-            )
-            result = bed.run_sequential_write(size_mb * MB)
-            curve.append(result.write_mbps)
-        curves[target] = curve
+    for t, target in enumerate(SWEEP_TARGETS):
+        offset = t * len(sizes_mb)
+        curves[target] = [
+            r.write_mbps for r in results[offset : offset + len(sizes_mb)]
+        ]
     return curves
 
 
@@ -50,7 +76,7 @@ class Figure1(Experiment):
     paper_ref = "Figure 1, §3.2"
 
     def _run(self, comparison: Comparison, data, scale: float, quick: bool) -> str:
-        curves = run_sweep("stock", scale, quick)
+        curves = run_sweep("stock", scale, quick, context=self.context)
         data.update(curves)
         hw, _ = scaled_configs(scale)
         dirty_limit_mb = hw.dirty_limit_bytes / 1e6

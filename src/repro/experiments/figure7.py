@@ -23,7 +23,7 @@ class Figure7(Experiment):
     paper_ref = "Figure 7, §3.6"
 
     def _run(self, comparison: Comparison, data, scale: float, quick: bool) -> str:
-        curves = run_sweep("enhanced", scale, quick)
+        curves = run_sweep("enhanced", scale, quick, context=self.context)
         data.update(curves)
         hw, filer_cfg = scaled_configs(scale)
         dirty_limit_mb = hw.dirty_limit_bytes / 1e6

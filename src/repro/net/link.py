@@ -52,7 +52,7 @@ class Link:
         arrival = done_sending + self.latency_ns
         self.frames_sent += 1
         self.bytes_sent += wire_bytes
-        self._sim.schedule_at(arrival, deliver, *args)
+        self._sim.call_at(arrival, deliver, *args)
         return arrival
 
     def queue_delay_ns(self) -> int:

@@ -1,0 +1,5 @@
+"""Parallel sweep execution over independent simulated worlds."""
+
+from .executor import JobSpec, PointResult, SweepExecutor, default_jobs, run_job
+
+__all__ = ["JobSpec", "PointResult", "SweepExecutor", "run_job", "default_jobs"]

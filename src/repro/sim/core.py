@@ -7,6 +7,24 @@ ties), which makes every run bit-for-bit reproducible.
 
 Simulated concurrency is expressed with generator-based tasks (see
 :mod:`repro.sim.task`); the core only knows about timed callbacks.
+
+Two scheduling lanes share one heap:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return a
+  cancellable :class:`EventHandle` (heap entry ``(time, seq, handle)``).
+* :meth:`Simulator.call_after` / :meth:`Simulator.call_at` are the fast
+  lane for the vast majority of events that are never cancelled (task
+  steps, timeouts, CPU slot completions, frame deliveries): the entry is
+  a bare ``(time, seq, fn, args)`` tuple — no per-event object
+  allocation, no ``cancelled`` test on dispatch.
+
+Heap entries are ordered by their ``(time, seq)`` prefix; ``seq`` is
+unique, so comparison never reaches the third element and the two entry
+shapes coexist safely.  Cancelled handles are lazily deleted at pop
+time, and the heap is compacted (rebuilt without dead entries) once
+cancelled entries outnumber live ones — long fault-injection runs cancel
+almost every rpciod retransmit timer, which would otherwise accumulate
+without bound.
 """
 
 from __future__ import annotations
@@ -18,21 +36,34 @@ from ..errors import SimulationError
 
 __all__ = ["Simulator", "EventHandle"]
 
+#: Compaction floor: don't bother rebuilding heaps smaller than this.
+_COMPACT_MIN_CANCELLED = 8
+
 
 class EventHandle:
     """A cancellable reference to a scheduled callback."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: int, fn: Callable[..., None], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: int,
+        fn: Callable[..., None],
+        args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
 
 class Simulator:
@@ -41,8 +72,13 @@ class Simulator:
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
-        self._queue: List[Tuple[int, int, EventHandle]] = []
+        # Entries are (time, seq, EventHandle) or (time, seq, fn, args).
+        self._queue: List[tuple] = []
         self._running = False
+        self._cancelled = 0
+        #: Total callbacks dispatched (cancelled entries excluded) — the
+        #: numerator of the events-per-second benchmarks.
+        self.events_processed: int = 0
         #: The task currently being stepped (set by :class:`~repro.sim.task.Task`).
         self.current_task: Optional[object] = None
 
@@ -67,10 +103,56 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} (now={self._now})"
             )
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, self)
         self._seq += 1
         heapq.heappush(self._queue, (time, self._seq, handle))
         return handle
+
+    def call_after(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """Fast lane: like :meth:`schedule` but not cancellable.
+
+        No :class:`EventHandle` is allocated; use this for fire-and-forget
+        callbacks on hot paths (it is what tasks and timeouts use).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
+
+    def call_at(self, time: int, fn: Callable[..., None], *args: Any) -> None:
+        """Fast lane: like :meth:`schedule_at` but not cancellable."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now={self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, fn, args))
+
+    # -- cancellation bookkeeping -------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel`; compacts when dead
+        entries exceed half the heap."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Mutates ``self._queue`` in place (the run loops hold a local
+        alias).  Pop order is unchanged: entry keys ``(time, seq)`` are
+        unique, so any heap over the same live entries drains identically.
+        """
+        queue = self._queue
+        queue[:] = [
+            entry for entry in queue if len(entry) == 4 or not entry[2].cancelled
+        ]
+        heapq.heapify(queue)
+        self._cancelled = 0
 
     # -- task support -------------------------------------------------------
 
@@ -98,20 +180,48 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
         try:
-            while self._queue:
-                time, _seq, handle = self._queue[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(self._queue)
-                if handle.cancelled:
-                    continue
-                self._now = time
-                handle.fn(*handle.args)
-            if until is not None and self._now < until:
-                self._now = until
+            if until is None:
+                # Hoisted fast loop: no bound check per event.
+                while queue:
+                    entry = heappop(queue)
+                    if len(entry) == 4:
+                        self._now = entry[0]
+                        processed += 1
+                        entry[2](*entry[3])
+                    else:
+                        handle = entry[2]
+                        if handle.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self._now = entry[0]
+                        processed += 1
+                        handle.fn(*handle.args)
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        break
+                    entry = heappop(queue)
+                    if len(entry) == 4:
+                        self._now = entry[0]
+                        processed += 1
+                        entry[2](*entry[3])
+                    else:
+                        handle = entry[2]
+                        if handle.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self._now = entry[0]
+                        processed += 1
+                        handle.fn(*handle.args)
+                if self._now < until:
+                    self._now = until
         finally:
             self._running = False
+            self.events_processed += processed
         return self._now
 
     def run_for(self, duration: int) -> int:
@@ -125,24 +235,57 @@ class Simulator:
         keep the queue non-empty forever; callers typically wait for a
         foreground task: ``sim.run_until(lambda: task.done)``.
         An optional absolute-time ``limit`` guards against wedged runs.
+
+        The limit check peeks before popping: the over-limit event stays
+        queued, so a caller that catches the :class:`SimulationError` and
+        resumes (e.g. after extending the limit) loses nothing.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
         try:
-            while not predicate() and self._queue:
-                time, _seq, handle = heapq.heappop(self._queue)
-                if handle.cancelled:
-                    continue
-                if limit is not None and time > limit:
-                    self._now = limit
-                    raise SimulationError(
-                        f"run_until hit the time limit at {limit} ns"
-                    )
-                self._now = time
-                handle.fn(*handle.args)
+            if limit is None:
+                # Hoisted fast loop: no limit check per event.
+                while not predicate() and queue:
+                    entry = heappop(queue)
+                    if len(entry) == 4:
+                        self._now = entry[0]
+                        processed += 1
+                        entry[2](*entry[3])
+                    else:
+                        handle = entry[2]
+                        if handle.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self._now = entry[0]
+                        processed += 1
+                        handle.fn(*handle.args)
+            else:
+                while not predicate() and queue:
+                    entry = queue[0]
+                    if len(entry) == 3 and entry[2].cancelled:
+                        heappop(queue)
+                        self._cancelled -= 1
+                        continue
+                    if entry[0] > limit:
+                        self._now = limit
+                        raise SimulationError(
+                            f"run_until hit the time limit at {limit} ns"
+                        )
+                    heappop(queue)
+                    self._now = entry[0]
+                    processed += 1
+                    if len(entry) == 4:
+                        entry[2](*entry[3])
+                    else:
+                        handle = entry[2]
+                        handle.fn(*handle.args)
         finally:
             self._running = False
+            self.events_processed += processed
         return self._now
 
     def pending_events(self) -> int:

@@ -80,7 +80,7 @@ class CpuSet:
 
     def _start(self, core: int, req: _ExecRequest) -> None:
         self.core_labels[core] = req.label
-        self._sim.schedule(req.duration, self._complete, core, req)
+        self._sim.call_after(req.duration, self._complete, core, req)
 
     def _complete(self, core: int, req: _ExecRequest) -> None:
         self.time_by_label[req.label] = (

@@ -56,7 +56,7 @@ class Timeout(Waitable):
         self._delay = delay
 
     def _arm(self, task: "Task") -> None:
-        self._sim.schedule(self._delay, task._resume, None)
+        self._sim.call_after(self._delay, task._resume, None)
 
 
 class Task(Waitable):
@@ -86,7 +86,7 @@ class Task(Waitable):
         self.error: Optional[BaseException] = None
         self._joiners: List["Task"] = []
         self._cancelled = False
-        sim.schedule(0, self._step, None, None)
+        sim.call_after(0, self._step, None, None)
 
     # -- public ------------------------------------------------------------
 
@@ -112,10 +112,10 @@ class Task(Waitable):
     # -- machinery -----------------------------------------------------------
 
     def _resume(self, value: Any) -> None:
-        self._sim.schedule(0, self._step, value, None)
+        self._sim.call_after(0, self._step, value, None)
 
     def _throw(self, exc: BaseException) -> None:
-        self._sim.schedule(0, self._step, None, exc)
+        self._sim.call_after(0, self._step, None, exc)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if self.done:

@@ -1,0 +1,78 @@
+"""Determinism across execution modes.
+
+The contract the whole performance stack rests on: a sweep point is a
+pure function of its JobSpec.  Serial in-process execution, process-pool
+execution, and a cache round-trip must all yield bit-identical numbers —
+including the full latency trace, not just the headline throughput.
+"""
+
+from repro.cache import ResultCache
+from repro.experiments import ExecutionContext
+from repro.experiments.figure1 import run_sweep, sweep_specs
+from repro.parallel import JobSpec, PointResult, SweepExecutor
+
+SPECS = [
+    JobSpec(target=target, client=client, file_bytes=size)
+    for target, client, size in (
+        ("netapp", "stock", 2_000_000),
+        ("linux", "enhanced", 2_000_000),
+        ("local", "stock", 1_000_000),
+    )
+]
+
+
+def assert_identical(a: PointResult, b: PointResult):
+    assert a.write_mbps == b.write_mbps
+    assert a.flush_mbps == b.flush_mbps
+    assert a.close_mbps == b.close_mbps
+    assert a.latencies_ns == b.latencies_ns
+    assert a.latency_starts_ns == b.latency_starts_ns
+    assert a == b
+
+
+def test_serial_vs_pool_bit_identical():
+    serial = SweepExecutor(jobs=1).map(SPECS)
+    pooled = SweepExecutor(jobs=2).map(SPECS)
+    for s, p in zip(serial, pooled):
+        assert_identical(s, p)
+
+
+def test_serial_vs_cache_round_trip_bit_identical(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    serial = SweepExecutor(jobs=1).map(SPECS)
+    cold = SweepExecutor(jobs=1, cache=cache).map(SPECS)
+    warm = SweepExecutor(jobs=1, cache=cache).map(SPECS)
+    assert cache.stores == len(SPECS)
+    assert cache.hits == len(SPECS)
+    for s, c, w in zip(serial, cold, warm):
+        assert_identical(s, c)
+        assert_identical(s, w)
+
+
+def test_pool_through_cache_round_trip(tmp_path):
+    """Pooled misses stored, then served: still identical to serial."""
+    cache = ResultCache(str(tmp_path))
+    pooled = SweepExecutor(jobs=2, cache=cache).map(SPECS)
+    warm = SweepExecutor(jobs=1, cache=cache).map(SPECS)
+    serial = SweepExecutor(jobs=1).map(SPECS)
+    for s, p, w in zip(serial, pooled, warm):
+        assert_identical(s, p)
+        assert_identical(s, w)
+
+
+def test_figure_sweep_identical_across_contexts(tmp_path):
+    """The fig1/fig7 sweep front end preserves identity too."""
+    kwargs = dict(client_variant="stock", scale=32.0, quick=True)
+    serial = run_sweep(**kwargs)
+    pooled = run_sweep(**kwargs, context=ExecutionContext(jobs=2))
+    ctx = ExecutionContext(cache=ResultCache(str(tmp_path)))
+    cold = run_sweep(**kwargs, context=ctx)
+    warm = run_sweep(**kwargs, context=ctx)
+    assert serial == pooled == cold == warm
+
+
+def test_sweep_specs_cover_the_grid():
+    sizes, specs = sweep_specs("stock", 8.0, True)
+    assert len(specs) == 3 * len(sizes)
+    assert {s.target for s in specs} == {"local", "netapp", "linux"}
+    assert all(s.client == "stock" for s in specs)
