@@ -159,7 +159,20 @@ class MountConfig:
     nfs_version: int = 3
     #: UDP retransmit timeout (Linux default: 0.7 s, exponential backoff).
     timeo_ns: int = 700_000_000
+    #: Retransmissions before a *major* timeout.  On a hard mount the
+    #: client logs "server not responding" and restarts the backoff
+    #: cycle; on a soft mount the request fails with EIO.
     retrans: int = 5
+    #: ``soft`` mount option: give up after ``retrans`` retransmissions
+    #: and surface EIO to the caller.  Default (hard) retries forever.
+    soft: bool = False
+    #: Use Linux's per-op-class RTT estimation (srtt/rttvar, as in
+    #: ``net/sunrpc/timer.c``) for the minor-timeout interval instead of
+    #: the fixed ``timeo`` base.  Backoff and the retrans cap still apply.
+    adaptive_timeo: bool = False
+    #: Delay before retrying a call answered NFS3ERR_JUKEBOX
+    #: (Linux: NFS_JUKEBOX_RETRY_TIME = 5 s).
+    jukebox_delay_ns: int = 5_000_000_000
     #: Pages of sequential read-ahead past a faulting read (2.4 ramped
     #: its window up to 128 KB; we model the steady window).
     readahead_pages: int = 32
@@ -169,6 +182,12 @@ class MountConfig:
             raise ConfigError("wsize must be a multiple of the page size")
         if self.nfs_version not in (2, 3):
             raise ConfigError("only NFSv2/v3 modelled")
+        if self.retrans < 1:
+            raise ConfigError("retrans must be >= 1")
+        if self.timeo_ns <= 0:
+            raise ConfigError("timeo_ns must be positive")
+        if self.jukebox_delay_ns < 0:
+            raise ConfigError("jukebox_delay_ns must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -33,5 +33,25 @@ class ProtocolError(ReproError):
     """An RPC or NFS protocol invariant was violated."""
 
 
+class EioError(ReproError):
+    """A simulated system call failed with EIO.
+
+    Raised to the simulated ``write()``/``fsync()``/``close()`` caller
+    when a *soft* NFS mount gives up on a request after ``retrans``
+    major timeouts (hard mounts retry forever and never raise this).
+    """
+
+    errno = "EIO"
+
+
+class JukeboxError(ReproError):
+    """NFS3ERR_JUKEBOX: the server needs time to service the request.
+
+    Raised by a server handler (fault injection); the RPC server answers
+    with a non-cached JUKEBOX error and the client retries the call
+    after a delay instead of failing it (RFC 1813 §3).
+    """
+
+
 class ResourceError(ReproError):
     """A hardware resource model was used inconsistently."""

@@ -7,6 +7,8 @@ Examples::
     repro-nfs run all --quick
     repro-nfs run fig1 fig7 --scale 8
     repro-nfs run fig1 --full        # paper-size sweep (slow)
+    repro-nfs faults --list
+    repro-nfs faults --scenario lossy-burst --seed 1
 """
 
 from __future__ import annotations
@@ -78,6 +80,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache location (default: $REPRO_NFS_CACHE_DIR or "
         "~/.cache/repro-nfs)",
     )
+    faults = sub.add_parser(
+        "faults",
+        help="run fault-injection scenarios and audit their invariants",
+    )
+    faults.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario to run (repeatable; default: all)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=1, help="fault RNG seed (default 1)"
+    )
+    faults.add_argument(
+        "--list", action="store_true", help="list available scenarios"
+    )
+    faults.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the second run that checks bit-for-bit determinism",
+    )
     return parser
 
 
@@ -109,11 +133,57 @@ def run_experiments(
     return all_passed
 
 
+def run_fault_scenarios(
+    names: Optional[List[str]],
+    seed: int,
+    verify: bool = True,
+    out=sys.stdout,
+) -> bool:
+    from ..faults import SCENARIOS, run_scenario
+
+    names = names or sorted(SCENARIOS)
+    all_passed = True
+    for name in names:
+        started = time.time()
+        outcome = run_scenario(name, seed=seed, verify_determinism=verify)
+        elapsed = time.time() - started
+        verdict = "PASS" if outcome.passed else "FAIL"
+        out.write(
+            f"{verdict} {name} (seed={seed}, "
+            f"fingerprint={outcome.fingerprint[:12]}, {elapsed:.1f} s wall)\n"
+        )
+        for inv in outcome.invariants:
+            mark = "ok" if inv.ok else "VIOLATED"
+            # Details are phrased as failure diagnostics; show them only
+            # when the invariant actually tripped.
+            detail = f" — {inv.detail}" if inv.detail and not inv.ok else ""
+            out.write(f"  [{mark:8s}] {inv.name}{detail}\n")
+        all_passed = all_passed and outcome.passed
+    return all_passed
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 1) < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.command == "faults":
+        from ..faults import SCENARIOS
+
+        if args.list:
+            for name in sorted(SCENARIOS):
+                print(f"{name:16s} {SCENARIOS[name].description}")
+            return 0
+        for name in args.scenario or []:
+            if name not in SCENARIOS:
+                parser.error(
+                    f"unknown scenario {name!r} "
+                    f"(expected one of {', '.join(sorted(SCENARIOS))})"
+                )
+        ok = run_fault_scenarios(
+            args.scenario, seed=args.seed, verify=not args.no_verify
+        )
+        return 0 if ok else 1
     if args.command == "list":
         for experiment_id in experiment_ids():
             experiment = get_experiment(experiment_id)

@@ -1,0 +1,51 @@
+"""Client-side faults: RPC slot-table starvation.
+
+Linux shares one transport (16 slots) per mount; a runaway workload or
+a shrunken ``/proc/sys/sunrpc`` slot table throttles everything behind
+it.  :class:`SlotStarvation` pinches the slot table down to a few slots
+for a window of simulated time, forcing the backlog queue to absorb the
+write stream.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..rpc.xprt import UdpTransport
+from ..sim import Simulator
+
+__all__ = ["SlotStarvation"]
+
+
+class SlotStarvation:
+    """Temporarily cap a transport's slot table."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        xprt: UdpTransport,
+        start_ns: int,
+        end_ns: int,
+        slots: int = 1,
+    ):
+        if end_ns <= start_ns:
+            raise ConfigError("starvation window must have positive duration")
+        if slots < 1:
+            raise ConfigError("cannot starve below one slot")
+        self.xprt = xprt
+        self.slots = slots
+        self.applied_at = None
+        self.restored_at = None
+        sim.schedule_at(start_ns, self._apply)
+        sim.schedule_at(end_ns, self._restore)
+        self._sim = sim
+
+    def _apply(self) -> None:
+        self.xprt.slot_override = self.slots
+        self.applied_at = self._sim.now
+
+    def _restore(self) -> None:
+        self.xprt.slot_override = None
+        self.restored_at = self._sim.now
+        # The window may have been closed for a while: wake rpciod so the
+        # backlog starts draining immediately.
+        self.xprt._nudge_rpciod()

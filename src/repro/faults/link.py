@@ -1,0 +1,175 @@
+"""Per-frame link faults.
+
+A fault object plugs into :attr:`repro.net.link.Link.fault` and rules on
+every frame after it has been serialised onto the wire:
+``on_frame(wire_bytes)`` returns a list of extra delays, one entry per
+delivered copy — ``[]`` drops the frame, ``[0]`` delivers it untouched,
+``[delay]`` delays it (reordering it past later frames), and multiple
+entries duplicate it.
+
+Faults that need randomness take a :class:`random.Random`; hand them a
+named stream from :class:`repro.sim.RngStreams` and the whole faulted
+run stays bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "LinkFault",
+    "GilbertElliott",
+    "DelayJitter",
+    "Duplicate",
+    "DropFrames",
+    "FaultChain",
+]
+
+
+class LinkFault:
+    """Base fault: passes every frame through untouched."""
+
+    def on_frame(self, wire_bytes: int) -> List[int]:
+        return [0]
+
+
+class GilbertElliott(LinkFault):
+    """Two-state burst-loss channel (Gilbert–Elliott).
+
+    The channel flips between a *good* and a *bad* state with the given
+    per-frame transition probabilities; each state drops frames at its
+    own rate.  The defaults give rare (~0.5 %/frame) transitions into
+    short bursts (mean ~4 frames) of total loss — the bursty reality
+    congested switches produce, which independent per-frame loss
+    (``NetConfig.loss_probability``) cannot model.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        p_good_to_bad: float = 0.005,
+        p_bad_to_good: float = 0.25,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ):
+        for label, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"GilbertElliott: {label} must be in [0, 1]")
+        self.rng = rng
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.in_bad_state = False
+        self.frames_seen = 0
+        self.frames_dropped = 0
+        self.bursts = 0
+
+    def on_frame(self, wire_bytes: int) -> List[int]:
+        self.frames_seen += 1
+        if self.in_bad_state:
+            if self.rng.random() < self.p_bad_to_good:
+                self.in_bad_state = False
+        elif self.rng.random() < self.p_good_to_bad:
+            self.in_bad_state = True
+            self.bursts += 1
+        loss = self.loss_bad if self.in_bad_state else self.loss_good
+        if loss > 0.0 and self.rng.random() < loss:
+            self.frames_dropped += 1
+            return []
+        return [0]
+
+
+class DelayJitter(LinkFault):
+    """Uniform extra per-frame delay in ``[0, max_jitter_ns]``.
+
+    Frames with unlucky draws arrive after frames sent later — at
+    fragment granularity this shuffles datagram reassembly order, at
+    datagram granularity it reorders RPC replies.
+    """
+
+    def __init__(self, rng: random.Random, max_jitter_ns: int):
+        if max_jitter_ns < 0:
+            raise ConfigError("DelayJitter: max_jitter_ns must be >= 0")
+        self.rng = rng
+        self.max_jitter_ns = max_jitter_ns
+
+    def on_frame(self, wire_bytes: int) -> List[int]:
+        if self.max_jitter_ns == 0:
+            return [0]
+        return [self.rng.randrange(self.max_jitter_ns + 1)]
+
+
+class Duplicate(LinkFault):
+    """Deliver some frames twice (UDP duplication).
+
+    The copy arrives ``lag_ns`` after the original.  With
+    ``probability=1.0`` every datagram of every reply reaches the client
+    twice — the regression rig for the transport's duplicate-xid path.
+    """
+
+    def __init__(self, rng: random.Random, probability: float, lag_ns: int = 0):
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigError("Duplicate: probability must be in [0, 1]")
+        if lag_ns < 0:
+            raise ConfigError("Duplicate: lag_ns must be >= 0")
+        self.rng = rng
+        self.probability = probability
+        self.lag_ns = lag_ns
+        self.duplicated = 0
+
+    def on_frame(self, wire_bytes: int) -> List[int]:
+        if self.probability >= 1.0 or self.rng.random() < self.probability:
+            self.duplicated += 1
+            return [0, self.lag_ns]
+        return [0]
+
+
+class DropFrames(LinkFault):
+    """Scripted loss: drop exactly the given frame ordinals (0-based).
+
+    Deterministic by construction — no RNG.  Dropping a reply's frames
+    forces a retransmit that the server must answer from its duplicate
+    request cache, which is how the DRC tests aim their shots.
+    """
+
+    def __init__(self, indices: Iterable[int]):
+        self.indices = frozenset(indices)
+        self.seen = 0
+        self.dropped = 0
+
+    def on_frame(self, wire_bytes: int) -> List[int]:
+        index = self.seen
+        self.seen += 1
+        if index in self.indices:
+            self.dropped += 1
+            return []
+        return [0]
+
+
+class FaultChain(LinkFault):
+    """Compose faults: a drop by any link in the chain wins, delays add,
+    duplicates multiply."""
+
+    def __init__(self, faults: Sequence[LinkFault]):
+        self.faults = list(faults)
+
+    def on_frame(self, wire_bytes: int) -> List[int]:
+        deliveries = [0]
+        for fault in self.faults:
+            next_deliveries: List[int] = []
+            for base in deliveries:
+                for extra in fault.on_frame(wire_bytes):
+                    next_deliveries.append(base + extra)
+            if not next_deliveries:
+                return []
+            deliveries = next_deliveries
+        return deliveries

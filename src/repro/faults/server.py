@@ -1,0 +1,63 @@
+"""Timed server faults.
+
+A :class:`ServerFaultSchedule` arms pause/crash/restart/jukebox actions
+at absolute simulated times against one
+:class:`~repro.server.base.NfsServerBase`.  Scheduling is plain
+simulator callbacks, so a faulted run replays identically for a fixed
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigError
+from ..server.base import NfsServerBase
+
+__all__ = ["ServerFaultSchedule"]
+
+
+class ServerFaultSchedule:
+    """Declarative fault timeline for one server."""
+
+    def __init__(self, server: NfsServerBase):
+        self.server = server
+        self.sim = server.sim
+        #: (time_ns, action) pairs, in firing order, for post-mortems.
+        self.log: List[Tuple[int, str]] = []
+
+    def _fire(self, label: str, action) -> None:
+        self.log.append((self.sim.now, label))
+        action()
+
+    def pause_between(self, start_ns: int, end_ns: int) -> "ServerFaultSchedule":
+        """Stop servicing (requests queue) between the two times."""
+        if end_ns <= start_ns:
+            raise ConfigError("pause window must have positive duration")
+        self.sim.schedule_at(start_ns, self._fire, "pause", self.server.pause)
+        self.sim.schedule_at(end_ns, self._fire, "resume", self.server.resume)
+        return self
+
+    def crash_at(self, at_ns: int, lose_drc: bool = True) -> "ServerFaultSchedule":
+        """Crash: drop all traffic, lose volatile state (and the DRC)."""
+        self.sim.schedule_at(
+            at_ns, self._fire, "crash", lambda: self.server.crash(lose_drc=lose_drc)
+        )
+        return self
+
+    def restart_at(self, at_ns: int) -> "ServerFaultSchedule":
+        """Reboot a crashed server (new write verifier)."""
+        self.sim.schedule_at(at_ns, self._fire, "restart", self.server.restart)
+        return self
+
+    def jukebox_between(self, start_ns: int, end_ns: int) -> "ServerFaultSchedule":
+        """Answer WRITE/COMMIT with NFS3ERR_JUKEBOX in the window."""
+        if end_ns <= start_ns:
+            raise ConfigError("jukebox window must have positive duration")
+        self.sim.schedule_at(
+            start_ns,
+            self._fire,
+            "jukebox",
+            lambda: self.server.jukebox_window(end_ns - start_ns),
+        )
+        return self

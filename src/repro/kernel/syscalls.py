@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import SimulationError
+from ..errors import EioError, SimulationError
 from ..net.host import Host
 from .vfs import VfsFile, generic_file_read, generic_file_write
 
@@ -35,13 +35,23 @@ class SyscallLayer:
         self.bytes_written = 0
         self.read_calls = 0
         self.bytes_read = 0
+        #: Calls that returned EIO (soft-mount major timeouts surfacing).
+        self.eio_errors = 0
 
     def write(self, file: VfsFile, nbytes: int):
-        """Generator: one ``write(fd, buf, nbytes)`` call."""
+        """Generator: one ``write(fd, buf, nbytes)`` call.
+
+        Raises :class:`EioError` when a soft mount gave up on the file's
+        write-back (the error latched by an earlier failed async WRITE).
+        """
         self._check_open(file, "write")
         start = self.host.sim.now
         yield from self._enter()
-        written = yield from generic_file_write(self.host, file, nbytes)
+        try:
+            written = yield from generic_file_write(self.host, file, nbytes)
+        except EioError:
+            yield from self._fail(start)
+            raise
         yield from self._exit()
         self.write_calls += 1
         self.bytes_written += written
@@ -53,7 +63,11 @@ class SyscallLayer:
         self._check_open(file, "read")
         start = self.host.sim.now
         yield from self._enter()
-        nread = yield from generic_file_read(self.host, file, nbytes)
+        try:
+            nread = yield from generic_file_read(self.host, file, nbytes)
+        except EioError:
+            yield from self._fail(start)
+            raise
         yield from self._exit()
         self.read_calls += 1
         self.bytes_read += nread
@@ -63,15 +77,31 @@ class SyscallLayer:
     def fsync(self, file: VfsFile):
         """Generator: one ``fsync(fd)`` call."""
         self._check_open(file, "fsync")
+        start = self.host.sim.now
         yield from self._enter()
-        yield from file.fsync()
+        try:
+            yield from file.fsync()
+        except EioError:
+            yield from self._fail(start)
+            raise
         yield from self._exit()
 
     def close(self, file: VfsFile):
-        """Generator: final ``close(fd)``."""
+        """Generator: final ``close(fd)``.
+
+        EIO from the final flush still closes the descriptor — exactly
+        the trap close-to-open consistency sets for applications that
+        don't check close()'s return value.
+        """
         self._check_open(file, "close")
+        start = self.host.sim.now
         yield from self._enter()
-        yield from file.release()
+        try:
+            yield from file.release()
+        except EioError:
+            file.closed = True
+            yield from self._fail(start)
+            raise
         file.closed = True
         yield from self._exit()
 
@@ -92,6 +122,12 @@ class SyscallLayer:
         if self.instrument:
             tail += costs.instrumentation
         yield from self.host.cpus.execute(tail, label="syscall_exit")
+
+    def _fail(self, start: int):
+        """Generator: error return path — exit cost, EIO accounting."""
+        self.eio_errors += 1
+        yield from self._exit()
+        self._record(start)
 
     def _record(self, start: int) -> None:
         if self.latency_sink is not None:

@@ -4,11 +4,19 @@ Frames queue behind each other at the link's bandwidth, then experience
 a fixed propagation/switching latency.  The O(1) ``busy_until``
 bookkeeping avoids a task per frame, which matters for multi-hundred-MB
 simulated transfers.
+
+Fault injection: a pluggable :attr:`Link.fault` hook (any object with
+``on_frame(wire_bytes) -> list[int]``, see :mod:`repro.faults.link`)
+decides each frame's fate *after* serialisation: an empty list drops
+the frame, ``[0]`` delivers normally, and each additional/positive
+entry delivers one (possibly delayed, hence reordered or duplicated)
+copy.  Bandwidth occupancy is charged either way — a dropped frame
+still burned wire time, like a frame lost to corruption.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from ..errors import ConfigError
 from ..sim import Simulator
@@ -38,11 +46,15 @@ class Link:
         self._busy_until = 0
         self.frames_sent = 0
         self.bytes_sent = 0
+        #: Pluggable per-frame fault hook (``on_frame(bytes) -> [delay...]``).
+        self.fault: Optional[Any] = None
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
 
     def send(self, wire_bytes: int, deliver: Callable[..., None], *args: Any) -> int:
         """Queue a frame; ``deliver(*args)`` fires on arrival.
 
-        Returns the simulated arrival time.
+        Returns the simulated arrival time (of the undisturbed copy).
         """
         if wire_bytes <= 0:
             raise ConfigError(f"{self.name}: empty frame")
@@ -52,6 +64,16 @@ class Link:
         arrival = done_sending + self.latency_ns
         self.frames_sent += 1
         self.bytes_sent += wire_bytes
+        if self.fault is not None:
+            deliveries = self.fault.on_frame(wire_bytes)
+            if not deliveries:
+                self.frames_dropped += 1
+                return arrival
+            if len(deliveries) > 1:
+                self.frames_duplicated += len(deliveries) - 1
+            for extra_delay in deliveries:
+                self._sim.call_at(arrival + extra_delay, deliver, *args)
+            return arrival
         self._sim.call_at(arrival, deliver, *args)
         return arrival
 

@@ -101,6 +101,21 @@ class Switch:
         except KeyError:
             raise ConfigError(f"{self.name}: unknown host {host_name!r}") from None
 
+    def install_fault(self, host_name: str, uplink=None, downlink=None) -> Port:
+        """Attach per-direction link faults to a host's port.
+
+        ``uplink`` disturbs frames the host sends (host→switch);
+        ``downlink`` disturbs frames it receives.  Pass ``None`` to
+        leave a direction untouched; see :mod:`repro.faults.link` for
+        the fault objects.  Returns the port for further inspection.
+        """
+        port = self.port(host_name)
+        if uplink is not None:
+            port.uplink.fault = uplink
+        if downlink is not None:
+            port.downlink.fault = downlink
+        return port
+
     def _forward(self, frag: Fragment) -> None:
         dst = self._ports.get(frag.dgram.dst)
         if dst is None:

@@ -65,6 +65,11 @@ class NfsClientStats:
         "explicit_flushes",
         "coalesced_updates",
         "page_waits",
+        "bytes_acked_stable",
+        "commit_verf_mismatches",
+        "write_failures",
+        "commit_failures",
+        "read_failures",
     )
 
     def __init__(self) -> None:
@@ -78,6 +83,17 @@ class NfsClientStats:
         self.explicit_flushes = 0
         self.coalesced_updates = 0
         self.page_waits = 0
+        #: Bytes the server has acknowledged as durable (FILE_SYNC write
+        #: or a verf-matching COMMIT) — the "no acknowledged-stable data
+        #: lost" invariant audits this against server state.
+        self.bytes_acked_stable = 0
+        #: COMMIT replies whose verifier didn't match the writes' — the
+        #: server rebooted, and the affected pages were re-dirtied.
+        self.commit_verf_mismatches = 0
+        #: WRITE RPCs failed by the transport (soft-mount major timeout).
+        self.write_failures = 0
+        self.commit_failures = 0
+        self.read_failures = 0
 
 
 class NfsClient:
@@ -116,6 +132,10 @@ class NfsClient:
             timeo_ns=self.mount.timeo_ns,
             lock_policy=lock_policy,
             name=f"{host.name}-xprt",
+            retrans=self.mount.retrans,
+            soft=self.mount.soft,
+            adaptive_timeo=self.mount.adaptive_timeo,
+            jukebox_delay_ns=self.mount.jukebox_delay_ns,
         )
         costs = host.costs
         if self.behavior.hashtable_index:
@@ -255,7 +275,10 @@ class NfsClient:
         def on_complete(reply):
             return self._write_done(inode, group, reply)
 
-        yield from self.xprt.submit(call, on_complete)
+        def on_error(reply):
+            return self._write_failed(inode, group, reply)
+
+        yield from self.xprt.submit(call, on_complete, on_error)
 
     def _write_done(self, inode: NfsInode, group: List[NfsPageRequest], reply):
         """Generator: WRITE completion (rpciod context, BKL critical)."""
@@ -280,11 +303,35 @@ class NfsClient:
                 )
                 inode.note_write_done(req, now)
                 self.live_requests -= 1
+                self.stats.bytes_acked_stable += req.nbytes
             else:
+                req.verf = result.verf
                 inode.note_unstable(req)
             self._writeback_retired()
             if result.committed >= Stable.DATA_SYNC:
                 self.pagecache.uncharge(PAGE_SIZE)
+        inode.waitq.wake_all()
+
+    def _write_failed(self, inode: NfsInode, group: List[NfsPageRequest], reply):
+        """Generator: WRITE failed for good (soft-mount major timeout).
+
+        Linux async-write error semantics: drop the pages, latch EIO on
+        the inode, and report it at the next write/fsync/close.
+        """
+        cpus = self.host.cpus
+        costs = self.host.costs
+        now = self.sim.now
+        for req in group:
+            remove_cost = self.index.remove(req)
+            yield from cpus.execute(
+                remove_cost, label="nfs_request_remove", priority=PRIO_KERNEL
+            )
+            inode.note_write_done(req, now)
+            self.live_requests -= 1
+            self._writeback_retired()
+            self.pagecache.uncharge(PAGE_SIZE)
+        self.stats.write_failures += 1
+        inode.pending_error = "EIO"
         inode.waitq.wake_all()
 
     # -- READ ----------------------------------------------------------------------
@@ -320,7 +367,10 @@ class NfsClient:
         def on_complete(reply):
             return self._read_done(file, pages, done, reply)
 
-        pending = yield from self.xprt.submit(call, on_complete)
+        def on_error(reply):
+            return self._read_failed(file, pages, done, reply)
+
+        pending = yield from self.xprt.submit(call, on_complete, on_error)
         if wait:
             yield pending.completion
         return True
@@ -341,6 +391,17 @@ class NfsClient:
             file._read_pending.pop(page, None)
         if not done.fired:
             done.trigger()
+
+    def _read_failed(self, file, pages, done: Event, reply):
+        """Generator: READ failed for good (soft-mount major timeout)."""
+        for page in pages:
+            file._read_pending.pop(page, None)
+        self.stats.read_failures += 1
+        file.inode.pending_error = "EIO"
+        if not done.fired:
+            done.trigger()
+        return
+        yield  # pragma: no cover - generator marker
 
     # -- COMMIT -----------------------------------------------------------------
 
@@ -375,7 +436,10 @@ class NfsClient:
         def on_complete(reply):
             return self._commit_done(inode, snapshot, reply)
 
-        pending = yield from self.xprt.submit(call, on_complete)
+        def on_error(reply):
+            return self._commit_failed(inode, snapshot, reply)
+
+        pending = yield from self.xprt.submit(call, on_complete, on_error)
         if wait:
             yield pending.completion
 
@@ -391,6 +455,30 @@ class NfsClient:
             yield from cpus.execute(
                 costs.request_complete, label="nfs_commit_done", priority=PRIO_KERNEL
             )
+            if req.verf is not None and req.verf != result.verf:
+                # The server rebooted between the UNSTABLE write and this
+                # COMMIT: the data may be gone.  Re-dirty the page and
+                # write it again (nfs_commit_done's resend path).
+                inode.note_redirty(req)
+                self.writeback_count += 1
+                self.stats.commit_verf_mismatches += 1
+                continue
+            remove_cost = self.index.remove(req)
+            yield from cpus.execute(
+                remove_cost, label="nfs_request_remove", priority=PRIO_KERNEL
+            )
+            inode.note_committed(req, now)
+            self.live_requests -= 1
+            self.stats.bytes_acked_stable += req.nbytes
+            self.pagecache.uncharge(PAGE_SIZE)
+        inode.commit_in_flight = False
+        inode.waitq.wake_all()
+
+    def _commit_failed(self, inode: NfsInode, snapshot: List[NfsPageRequest], reply):
+        """Generator: COMMIT failed for good (soft-mount major timeout)."""
+        cpus = self.host.cpus
+        now = self.sim.now
+        for req in snapshot:
             remove_cost = self.index.remove(req)
             yield from cpus.execute(
                 remove_cost, label="nfs_request_remove", priority=PRIO_KERNEL
@@ -398,7 +486,9 @@ class NfsClient:
             inode.note_committed(req, now)
             self.live_requests -= 1
             self.pagecache.uncharge(PAGE_SIZE)
+        self.stats.commit_failures += 1
         inode.commit_in_flight = False
+        inode.pending_error = "EIO"
         inode.waitq.wake_all()
 
     # -- flush (fsync/close/threshold) ------------------------------------------

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..errors import EioError
 from ..kernel.vfs import VfsFile
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,7 +34,15 @@ class NfsFile(VfsFile):
     def _read_pending(self):
         return self.inode.read_pending
 
+    def _raise_pending_error(self) -> None:
+        """Surface a latched async-write failure (Linux reports a failed
+        background write at the next write/fsync/close on the file)."""
+        err = self.inode.consume_error()
+        if err is not None:
+            raise EioError(f"{self.name}: deferred write error ({err})")
+
     def commit_write(self, page_index: int, offset_in_page: int, nbytes: int):
+        self._raise_pending_error()
         yield from self.client.writepath.nfs_updatepage(
             self.inode, page_index, offset_in_page, nbytes
         )
@@ -42,6 +51,7 @@ class NfsFile(VfsFile):
             from ..nfs3 import Stable
 
             yield from self.client.flush_writes(self.inode, stable=Stable.FILE_SYNC)
+            self._raise_pending_error()
 
     # -- reads ---------------------------------------------------------------
 
@@ -55,8 +65,10 @@ class NfsFile(VfsFile):
         pending = self._read_pending.get(page_index)
         if pending is not None:
             yield pending  # someone is already fetching this range
+            self._raise_pending_error()
             return
         yield from self.client.fetch_pages(self, page_index, wait=True)
+        self._raise_pending_error()
         # Sequential read-ahead: fire-and-forget fetches behind the fault.
         pages_per_rpc = max(1, self.client.mount.rsize // 4096)
         ra_end = page_index + pages_per_rpc + self.client.mount.readahead_pages
@@ -72,7 +84,9 @@ class NfsFile(VfsFile):
 
     def fsync(self):
         yield from self.client.flush_inode(self.inode)
+        self._raise_pending_error()
 
     def release(self):
         # NFS close-to-open consistency: flush completely on last close.
         yield from self.client.flush_inode(self.inode)
+        self._raise_pending_error()

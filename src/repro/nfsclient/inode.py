@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List
+from typing import Deque, List, Optional
 
 from ..sim import Simulator, WaitQueue
 from .request import NfsPageRequest, RequestState
@@ -36,6 +36,15 @@ class NfsInode:
         self.read_pending = {}
         #: Server change token seen at the last open (close-to-open).
         self.server_change_id = 0
+        #: Sticky async-write error (Linux semantics: a failed background
+        #: write is reported at the *next* write/fsync/close on the file).
+        self.pending_error: Optional[str] = None
+
+    def consume_error(self) -> Optional[str]:
+        """Return and clear the sticky error, if any."""
+        err = self.pending_error
+        self.pending_error = None
+        return err
 
     def invalidate_cache(self) -> None:
         """Drop clean cached pages (revalidation found the file changed)."""
@@ -85,3 +94,13 @@ class NfsInode:
         request.completed_at = now
         self.live_requests -= 1
         self.unstable_bytes -= request.nbytes
+
+    def note_redirty(self, request: NfsPageRequest) -> None:
+        """An UNSTABLE request whose COMMIT verf mismatched: the server
+        rebooted and may have lost the data, so the page goes back to
+        DIRTY for a fresh WRITE (Linux ``nfs_commit_done`` resend path).
+        """
+        request.state = RequestState.DIRTY
+        request.verf = None
+        self.unstable_bytes -= request.nbytes
+        self.dirty.append(request)

@@ -41,6 +41,7 @@ class NfsPageRequest:
         "created_at",
         "scheduled_at",
         "completed_at",
+        "verf",
     )
 
     def __init__(
@@ -63,6 +64,10 @@ class NfsPageRequest:
         self.created_at = created_at
         self.scheduled_at: Optional[int] = None
         self.completed_at: Optional[int] = None
+        #: Write verifier from the UNSTABLE reply; compared against the
+        #: COMMIT verf — a mismatch means the server rebooted in between
+        #: and this page must be written again.
+        self.verf: Optional[int] = None
 
     @property
     def live(self) -> bool:

@@ -53,6 +53,12 @@ class RpcReply:
 
 @dataclass
 class RpcError:
-    """An error result (accept-stat != SUCCESS / NFS error status)."""
+    """An error result (accept-stat != SUCCESS / NFS error status).
+
+    ``code`` carries the machine-readable status the transport acts on:
+    ``"JUKEBOX"`` (retry after a delay), ``"ETIMEDOUT"`` (synthesised on
+    a soft-mount major timeout), or ``""`` for generic failures.
+    """
 
     message: str
+    code: str = ""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Generator, Tuple
 
+from ..errors import JukeboxError
 from ..net.host import Host
 from ..sim import Semaphore
 from .messages import RpcCall, RpcError, RpcReply
@@ -43,14 +44,25 @@ class RpcServer:
         self.requests_handled = 0
         self.drc_hits = 0
         self.errors = 0
+        self.jukebox_replies = 0
+        #: Crash mode: arriving datagrams vanish and no replies leave.
+        self.drop_incoming = False
+        self.dropped_while_down = 0
         self._drc: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
         self._accept = host.sim.spawn(
             self._accept_loop(), name=f"{name}-accept", daemon=True
         )
 
+    def clear_drc(self) -> None:
+        """Forget the duplicate-request cache (reply-cache loss on crash)."""
+        self._drc.clear()
+
     def _accept_loop(self):
         while True:
             dgram = yield from self.sock.recv()
+            if self.drop_incoming:
+                self.dropped_while_down += 1
+                continue
             call = dgram.payload
             key = (dgram.src, call.xid)
             cached = self._drc.get(key)
@@ -69,9 +81,17 @@ class RpcServer:
             )
 
     def _serve(self, src: str, src_port: int, call: RpcCall, key):
+        cache_reply = True
         yield self._threads.acquire()
         try:
             result, reply_size = yield from self.handler(call)
+        except JukeboxError as err:
+            # NFS3ERR_JUKEBOX: "try again later".  Never cached — the
+            # client retries with the same xid and must reach the
+            # handler again, not a stale error (knfsd's RC_NOCACHE).
+            result, reply_size = RpcError(repr(err), code="JUKEBOX"), 64
+            cache_reply = False
+            self.jukebox_replies += 1
         except Exception as err:  # noqa: BLE001 - server must always reply
             # A failed procedure still answers (accept-stat error) —
             # otherwise the client would retransmit forever.
@@ -79,8 +99,17 @@ class RpcServer:
             self.errors += 1
         finally:
             self._threads.release()
+        if self.drop_incoming:
+            # The server crashed while this request executed: the reply
+            # dies with it, and so does the in-progress DRC entry.
+            self._drc.pop(key, None)
+            self.dropped_while_down += 1
+            return
         reply = RpcReply(xid=call.xid, result=result, size=reply_size)
-        self._remember(key, reply)
+        if cache_reply:
+            self._remember(key, reply)
+        else:
+            self._drc.pop(key, None)
         self.requests_handled += 1
         self.sock.sendto(src, src_port, reply, reply.size)
 

@@ -17,6 +17,14 @@ Big Kernel Lock, under the stock policy, which is what the writer then
 contends with.  A fast server keeps slots turning over rapidly, keeping
 rpciod constantly busy sending and completing; a slow server leaves the
 window full and rpciod mostly asleep, so the writer runs unimpeded.
+
+Failure semantics (``docs/robustness.md``): minor timeouts retransmit
+with exponential backoff (or an adaptive srtt/rttvar interval, see
+:class:`RttEstimator`); after ``retrans`` retransmissions the request
+hits a **major timeout**.  A *hard* mount restarts the backoff cycle
+and retries forever; a *soft* mount fails the request with ETIMEDOUT,
+which surfaces as EIO to the caller.  ``NFS3ERR_JUKEBOX`` replies are
+re-sent after a fixed delay instead of completing.
 """
 
 from __future__ import annotations
@@ -24,14 +32,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Generator, Optional
 
-from ..errors import ProtocolError
+from ..errors import EioError, ProtocolError
 from ..kernel.bkl import LockPolicy, NoLockPolicy
 from ..net.host import Host
 from ..net.udp import UdpSocket
 from ..sim import PRIO_KERNEL, Event
-from .messages import RpcCall, RpcReply
+from .messages import RpcCall, RpcError, RpcReply
 
-__all__ = ["PendingRequest", "UdpTransport", "TransportStats"]
+__all__ = ["PendingRequest", "UdpTransport", "TransportStats", "RttEstimator"]
 
 
 class TransportStats:
@@ -45,6 +53,9 @@ class TransportStats:
         "completed",
         "duplicate_replies",
         "backlog_peak",
+        "major_timeouts",
+        "soft_failures",
+        "jukebox_retries",
     )
 
     def __init__(self) -> None:
@@ -55,6 +66,13 @@ class TransportStats:
         self.completed = 0
         self.duplicate_replies = 0
         self.backlog_peak = 0
+        #: retrans cap exhausted (hard mounts restart the backoff cycle
+        #: here; soft mounts additionally fail the request).
+        self.major_timeouts = 0
+        #: Requests failed with ETIMEDOUT on a soft mount.
+        self.soft_failures = 0
+        #: Calls re-sent after an NFS3ERR_JUKEBOX reply.
+        self.jukebox_retries = 0
 
     @property
     def inline_fraction(self) -> float:
@@ -65,6 +83,56 @@ class TransportStats:
         return self.sent_inline / sent
 
 
+class RttEstimator:
+    """Van Jacobson SRTT/RTTVAR per op class (``net/sunrpc/timer.c``).
+
+    Linux keeps one estimator per timer class (reads, writes, metadata)
+    and derives the minor retransmit timeout as ``srtt + 4·rttvar``,
+    clamped to sane bounds.  Karn's rule applies: only replies to
+    never-retransmitted calls update the estimate.
+    """
+
+    __slots__ = ("initial_ns", "min_ns", "max_ns", "srtt_ns", "rttvar_ns", "samples")
+
+    def __init__(
+        self,
+        initial_ns: int,
+        min_ns: int = 10_000_000,
+        max_ns: int = 60_000_000_000,
+    ):
+        self.initial_ns = initial_ns
+        self.min_ns = min_ns
+        self.max_ns = max_ns
+        self.srtt_ns: Optional[int] = None
+        self.rttvar_ns = 0
+        self.samples = 0
+
+    def observe(self, rtt_ns: int) -> None:
+        """Fold one round-trip sample into srtt/rttvar (gains 1/8, 1/4)."""
+        self.samples += 1
+        if self.srtt_ns is None:
+            self.srtt_ns = rtt_ns
+            self.rttvar_ns = rtt_ns // 2
+            return
+        err = rtt_ns - self.srtt_ns
+        self.srtt_ns += err // 8
+        self.rttvar_ns += (abs(err) - self.rttvar_ns) // 4
+
+    def timeout_ns(self) -> int:
+        """Current retransmit timeout: srtt + 4·rttvar, clamped."""
+        if self.srtt_ns is None:
+            return self.initial_ns
+        return max(self.min_ns, min(self.max_ns, self.srtt_ns + 4 * self.rttvar_ns))
+
+
+#: Op-class map for RTT estimation (Linux ``rpc_proc_info.p_timer``).
+_TIMER_CLASS = {
+    "READ": "read",
+    "WRITE": "write",
+    "COMMIT": "write",
+}
+
+
 class PendingRequest:
     """One outstanding RPC."""
 
@@ -72,24 +140,31 @@ class PendingRequest:
         "call",
         "completion",
         "on_complete",
+        "on_error",
         "timer",
         "timeo_ns",
         "retries",
         "submitted_at",
         "first_sent_at",
         "sent_by",
+        "timer_class",
     )
 
-    def __init__(self, sim, call: RpcCall, on_complete, timeo_ns: int):
+    def __init__(self, sim, call: RpcCall, on_complete, timeo_ns: int, on_error=None):
         self.call = call
         self.completion = Event(sim)
         self.on_complete = on_complete
+        #: Completion callback for error replies (including the
+        #: synthesised soft-mount ETIMEDOUT); success replies never
+        #: reach it.  Sync waiters instead inspect ``reply.is_error``.
+        self.on_error = on_error
         self.timer = None
         self.timeo_ns = timeo_ns
         self.retries = 0
         self.submitted_at = sim.now
         self.first_sent_at: Optional[int] = None
         self.sent_by: Optional[str] = None
+        self.timer_class = _TIMER_CLASS.get(call.proc, "meta")
 
 
 class UdpTransport:
@@ -110,23 +185,42 @@ class UdpTransport:
         timeo_ns: int = 700_000_000,
         lock_policy: Optional[LockPolicy] = None,
         name: str = "xprt",
+        retrans: int = 5,
+        soft: bool = False,
+        adaptive_timeo: bool = False,
+        jukebox_delay_ns: int = 5_000_000_000,
     ):
         if slots < 1:
             raise ProtocolError(f"{name}: slot table must hold >= 1 request")
+        if retrans < 1:
+            raise ProtocolError(f"{name}: retrans must be >= 1")
         self.host = host
         self.sock = sock
         self.server = server
         self.server_port = server_port
         self.slots = slots
         self.timeo_ns = timeo_ns
+        self.retrans = retrans
+        self.soft = soft
+        self.adaptive_timeo = adaptive_timeo
+        self.jukebox_delay_ns = jukebox_delay_ns
         self.lock_policy = lock_policy or NoLockPolicy()
         self.name = name
         self.cwnd = min(self.INITIAL_CWND, float(slots))
         self.in_flight: Dict[int, PendingRequest] = {}
         self.backlog: Deque[PendingRequest] = deque()
         self._retrans_queue: Deque[PendingRequest] = deque()
+        #: Soft-mount major-timeout casualties awaiting error completion.
+        self._failed_queue: Deque[PendingRequest] = deque()
         self._xid = 0
         self.stats = TransportStats()
+        #: Per-op-class RTT estimators (used when ``adaptive_timeo``).
+        self.rtt = {
+            cls: RttEstimator(timeo_ns) for cls in ("read", "write", "meta")
+        }
+        #: Fault injection: a smaller temporary slot-table bound
+        #: (slot-table starvation); ``None`` means no override.
+        self.slot_override: Optional[int] = None
         #: Wire-send timestamps (bounded), for on-the-wire smoothness
         #: analysis — §3.3: "the latency spikes do not appear in write
         #: requests on the wire".
@@ -148,6 +242,7 @@ class UdpTransport:
         self,
         call: RpcCall,
         on_complete: Optional[Callable[[RpcReply], Generator]] = None,
+        on_error: Optional[Callable[[RpcReply], Generator]] = None,
     ):
         """Generator (runs in the submitter's context): start an RPC.
 
@@ -156,7 +251,9 @@ class UdpTransport:
         happens here, in the caller's context, at the caller's cost;
         otherwise the request joins the backlog for rpciod.
         """
-        req = PendingRequest(self._sim, call, on_complete, self.timeo_ns)
+        req = PendingRequest(
+            self._sim, call, on_complete, self._initial_timeo(call.proc), on_error
+        )
         self.stats.submitted += 1
         if not self.backlog and self._window_open():
             self.in_flight[call.xid] = req
@@ -173,12 +270,18 @@ class UdpTransport:
     def call_and_wait(self, call: RpcCall, on_complete=None):
         """Generator: submit and block until the reply arrives.
 
-        Raises :class:`ProtocolError` when the server answered with an
-        error status.
+        Raises :class:`EioError` when a soft mount gave up on the call
+        (ETIMEDOUT), :class:`ProtocolError` when the server answered
+        with any other error status.
         """
         req = yield from self.submit(call, on_complete)
         reply = yield req.completion
         if reply.is_error:
+            if getattr(reply.result, "code", "") == "ETIMEDOUT":
+                raise EioError(
+                    f"{self.name}: {call.proc} to {self.server} timed out "
+                    f"(soft mount, retrans={self.retrans})"
+                )
             raise ProtocolError(
                 f"{self.name}: {call.proc} failed on {self.server}: "
                 f"{reply.result.message}"
@@ -188,7 +291,7 @@ class UdpTransport:
     @property
     def outstanding(self) -> int:
         """Requests submitted but not yet completed."""
-        return len(self.in_flight) + len(self.backlog)
+        return len(self.in_flight) + len(self.backlog) + len(self._failed_queue)
 
     def max_send_gap_ns(self, up_to: Optional[int] = None) -> int:
         """Largest quiet interval between consecutive wire sends."""
@@ -199,8 +302,16 @@ class UdpTransport:
 
     # -- window -------------------------------------------------------------------
 
+    def effective_slots(self) -> int:
+        """Slot-table bound, honouring any starvation override."""
+        if self.slot_override is not None:
+            return max(1, min(self.slots, self.slot_override))
+        return self.slots
+
     def _window_open(self) -> bool:
-        return len(self.in_flight) < min(self.slots, max(1, int(self.cwnd)))
+        return len(self.in_flight) < min(
+            self.effective_slots(), max(1, int(self.cwnd))
+        )
 
     def _on_reply_cwnd(self) -> None:
         if self.cwnd < self.slots:
@@ -208,6 +319,13 @@ class UdpTransport:
 
     def _on_timeout_cwnd(self) -> None:
         self.cwnd = max(1.0, self.cwnd / 2.0)
+
+    # -- timeouts ------------------------------------------------------------------
+
+    def _initial_timeo(self, proc: str) -> int:
+        if self.adaptive_timeo:
+            return self.rtt[_TIMER_CLASS.get(proc, "meta")].timeout_ns()
+        return self.timeo_ns
 
     # -- wire -----------------------------------------------------------------------
 
@@ -236,9 +354,33 @@ class UdpTransport:
         if req.call.xid not in self.in_flight:
             return
         req.retries += 1
-        req.timeo_ns = min(req.timeo_ns * 2, self.MAX_TIMEO_NS)
+        if req.retries > self.retrans:
+            # Major timeout: the mount's retrans budget is spent.
+            self.stats.major_timeouts += 1
+            if self.soft:
+                # Soft semantics: give up and fail the request with
+                # ETIMEDOUT (rpciod completes it, under the lock policy).
+                del self.in_flight[req.call.xid]
+                req.timer = None
+                self.stats.soft_failures += 1
+                self._failed_queue.append(req)
+                self._nudge_rpciod()
+                return
+            # Hard semantics: "server not responding, still trying" —
+            # restart the backoff cycle and retry forever.
+            req.retries = 0
+            req.timeo_ns = self._initial_timeo(req.call.proc)
+        else:
+            req.timeo_ns = min(req.timeo_ns * 2, self.MAX_TIMEO_NS)
         self.stats.retransmits += 1
         self._on_timeout_cwnd()
+        self._retrans_queue.append(req)
+        self._nudge_rpciod()
+
+    def _on_jukebox_delay(self, req: PendingRequest) -> None:
+        if req.call.xid not in self.in_flight:
+            return
+        req.timer = None
         self._retrans_queue.append(req)
         self._nudge_rpciod()
 
@@ -249,7 +391,7 @@ class UdpTransport:
             self._kick.trigger()
 
     def _work_available(self) -> bool:
-        if self._retrans_queue or self.sock.pending:
+        if self._retrans_queue or self._failed_queue or self.sock.pending:
             return True
         return bool(self.backlog) and self._window_open()
 
@@ -274,6 +416,10 @@ class UdpTransport:
                 self.lock_policy.daemon_release()
 
     def _work_one(self):
+        if self._failed_queue:
+            req = self._failed_queue.popleft()
+            yield from self._complete_failure(req)
+            return
         if self._retrans_queue:
             req = self._retrans_queue.popleft()
             if req.call.xid in self.in_flight:
@@ -291,15 +437,37 @@ class UdpTransport:
             yield from self._send(req, "rpc_send_rpciod")
 
     def _handle_reply(self, reply: RpcReply):
-        req = self.in_flight.pop(reply.xid, None)
+        req = self.in_flight.get(reply.xid)
         if req is None:
             self.stats.duplicate_replies += 1
+            yield from self.host.cpus.execute(
+                self.host.costs.reply_processing,
+                label="rpc_reply_dup",
+                priority=PRIO_KERNEL,
+            )
             return
-            yield  # pragma: no cover - generator marker
+        if reply.is_error and getattr(reply.result, "code", "") == "JUKEBOX":
+            # NFS3ERR_JUKEBOX: the server asked for patience.  Hold the
+            # slot and re-send the same xid after the jukebox delay.
+            self.stats.jukebox_retries += 1
+            if req.timer is not None:
+                req.timer.cancel()
+            req.timer = self._sim.schedule(
+                self.jukebox_delay_ns, self._on_jukebox_delay, req
+            )
+            return
+        del self.in_flight[reply.xid]
         if req.timer is not None:
             req.timer.cancel()
             req.timer = None
         self._on_reply_cwnd()
+        if (
+            self.adaptive_timeo
+            and req.retries == 0
+            and req.first_sent_at is not None
+        ):
+            # Karn's rule: retransmitted calls yield ambiguous samples.
+            self.rtt[req.timer_class].observe(self._sim.now - req.first_sent_at)
 
         def process():
             yield from self.host.cpus.execute(
@@ -307,10 +475,35 @@ class UdpTransport:
                 label="rpc_reply_processing",
                 priority=PRIO_KERNEL,
             )
-            # Error replies bypass the completion callback: the waiter
-            # inspects reply.is_error (sync callers raise).
-            if req.on_complete is not None and not reply.is_error:
+            if reply.is_error:
+                if req.on_error is not None:
+                    yield from req.on_error(reply)
+            elif req.on_complete is not None:
                 yield from req.on_complete(reply)
+
+        yield from self.lock_policy.critical("rpciod", process())
+        self.stats.completed += 1
+        req.completion.trigger(reply)
+
+    def _complete_failure(self, req: PendingRequest):
+        """Generator: deliver a synthesised ETIMEDOUT reply (soft mount)."""
+        reply = RpcReply(
+            xid=req.call.xid,
+            result=RpcError(
+                f"{self.name}: {req.call.proc} major timeout "
+                f"(soft mount, retrans={self.retrans})",
+                code="ETIMEDOUT",
+            ),
+        )
+
+        def process():
+            yield from self.host.cpus.execute(
+                self.host.costs.reply_processing,
+                label="rpc_soft_timeout",
+                priority=PRIO_KERNEL,
+            )
+            if req.on_error is not None:
+                yield from req.on_error(reply)
 
         yield from self.lock_policy.critical("rpciod", process())
         self.stats.completed += 1

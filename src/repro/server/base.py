@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..config import NetConfig
-from ..errors import ProtocolError
+from ..errors import JukeboxError, ProtocolError
 from ..net import Host, Switch
 from ..nfs3 import (
     CommitArgs,
@@ -88,6 +88,14 @@ class NfsServerBase:
         self._ingest_lock = Lock(sim, f"{name}-ingest")
         self._paused = False
         self._pause_waitq = WaitQueue(sim, f"{name}-pause")
+        #: NFSv3 write verifier: changes across a restart, telling
+        #: clients that uncommitted UNSTABLE data may have been lost.
+        self.boot_verf = 1
+        self._crashed = False
+        #: Until this simulated time, WRITE/COMMIT answer NFS3ERR_JUKEBOX
+        #: ("try again later") — fault injection for slow media recall.
+        self._jukebox_until = 0
+        self.jukebox_injected = 0
         self.files: Dict[int, ServerFile] = {}
         self._next_fileid = 1
         self.bytes_received = 0
@@ -113,6 +121,44 @@ class NfsServerBase:
     def _wait_unpaused(self):
         yield from self._pause_waitq.wait_until(lambda: not self._paused)
 
+    # -- crash / restart (fault injection) -----------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self, lose_drc: bool = True) -> None:
+        """Simulate a server crash: stop servicing and answering.
+
+        Volatile state (page cache, in-progress requests, and — unless
+        ``lose_drc`` is False — the duplicate-request cache) is lost via
+        the :meth:`on_crash` hook.  Clients see silence and retransmit.
+        """
+        self._crashed = True
+        self.pause()
+        self.rpc.drop_incoming = True
+        if lose_drc:
+            self.rpc.clear_drc()
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Bring a crashed server back with a fresh write verifier."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.rpc.drop_incoming = False
+        # A reboot changes the verifier; clients comparing it against
+        # the verf their UNSTABLE writes returned must rewrite.
+        self.boot_verf += 1
+        self.resume()
+
+    def jukebox_window(self, duration_ns: int) -> None:
+        """Answer WRITE/COMMIT with NFS3ERR_JUKEBOX for ``duration_ns``."""
+        self._jukebox_until = max(self._jukebox_until, self.sim.now + duration_ns)
+
+    def on_crash(self) -> None:
+        """Subclass hook: discard whatever a power loss would destroy."""
+
     # -- ingest station ------------------------------------------------------
 
     def _ingest(self, nbytes: int):
@@ -128,6 +174,11 @@ class NfsServerBase:
 
     def handle(self, call: RpcCall):
         """Generator: RPC program handler; returns (result, reply_size)."""
+        if call.proc in ("WRITE", "COMMIT") and self.sim.now < self._jukebox_until:
+            self.jukebox_injected += 1
+            raise JukeboxError(
+                f"{self.name}: {call.proc} deferred, media being recalled"
+            )
         if call.proc == "WRITE":
             return (yield from self._handle_write(call.args, call.size))
         if call.proc == "READ":
@@ -152,7 +203,10 @@ class NfsServerBase:
             file.size = end
         return (
             WriteResult(
-                count=args.count, committed=committed, change_id=file.change_id
+                count=args.count,
+                committed=committed,
+                change_id=file.change_id,
+                verf=self.boot_verf,
             ),
             write_reply_size(),
         )
@@ -177,7 +231,7 @@ class NfsServerBase:
         yield from self._ingest(wire_size)
         yield from self.do_commit(file)
         self.commits_handled += 1
-        return CommitResult(), commit_reply_size()
+        return CommitResult(verf=self.boot_verf), commit_reply_size()
 
     def _handle_create(self, args: CreateArgs, wire_size: int):
         yield from self._ingest(wire_size)

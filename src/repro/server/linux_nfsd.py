@@ -104,6 +104,19 @@ class LinuxNfsServer(NfsServerBase):
     def do_commit(self, file: ServerFile):
         yield from self._flush_file(file)
 
+    def on_crash(self) -> None:
+        """Power loss: the page cache vanishes; only the platter survives.
+
+        Every file forgets its dirty bytes and shrinks to what bdflush or
+        a COMMIT already forced out — exactly the data-loss window the
+        NFSv3 verifier protocol exists to expose.
+        """
+        for file in self.files.values():
+            file.dirty_bytes = 0
+            file.size = min(file.size, file.stable_bytes)
+        self.total_dirty = 0
+        self._dirty_waitq.wake_all()
+
     def read_media(self, file: ServerFile, offset: int, count: int):
         # Files that fit the server's page cache serve from RAM; larger
         # ones hit the single spindle.

@@ -84,6 +84,12 @@ class NetappFiler(NfsServerBase):
         return
         yield  # pragma: no cover - generator marker
 
+    def on_crash(self) -> None:
+        # Battery-backed NVRAM: everything acknowledged survives the
+        # crash, which is the whole point of the design.  WAFL replays
+        # the journal on boot; no state to discard here.
+        return
+
     #: Filer read-cache budget (256 MB RAM, §3.1).
     READ_CACHE_BYTES = 256 * 1024 * 1024
 
@@ -108,7 +114,8 @@ class NetappFiler(NfsServerBase):
 
     def _end_pause(self, started_at: int) -> None:
         self.checkpoint_windows.append((started_at, self.sim.now))
-        self.resume()
+        if not self._crashed:  # a crash mid-checkpoint stays down
+            self.resume()
 
     def _drain(self, nbytes: int):
         yield from self.raid.write(nbytes, sequential=True)

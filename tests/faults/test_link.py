@@ -1,0 +1,130 @@
+"""Unit tests for the per-frame link fault models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    DelayJitter,
+    DropFrames,
+    Duplicate,
+    FaultChain,
+    GilbertElliott,
+    LinkFault,
+)
+from repro.sim import RngStreams
+
+
+def stream(name="fault", seed=42):
+    return RngStreams(seed).stream(name)
+
+
+def test_base_fault_passes_everything():
+    fault = LinkFault()
+    assert [fault.on_frame(1500) for _ in range(5)] == [[0]] * 5
+
+
+def test_gilbert_elliott_is_deterministic_per_stream():
+    a = GilbertElliott(stream(), p_good_to_bad=0.1, p_bad_to_good=0.3)
+    b = GilbertElliott(stream(), p_good_to_bad=0.1, p_bad_to_good=0.3)
+    verdicts_a = [a.on_frame(1500) for _ in range(500)]
+    verdicts_b = [b.on_frame(1500) for _ in range(500)]
+    assert verdicts_a == verdicts_b
+    assert a.frames_dropped == b.frames_dropped > 0
+    assert a.bursts == b.bursts > 0
+
+
+def test_gilbert_elliott_drops_in_bursts():
+    """Forced into the bad state forever: every frame after the first
+    transition is lost, and it all counts as one burst."""
+    fault = GilbertElliott(
+        stream(), p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0
+    )
+    for _ in range(20):
+        assert fault.on_frame(1500) == []
+    assert fault.frames_seen == 20
+    assert fault.frames_dropped == 20
+    assert fault.bursts == 1
+    assert fault.in_bad_state
+
+
+def test_gilbert_elliott_lossless_good_state():
+    fault = GilbertElliott(stream(), p_good_to_bad=0.0)
+    assert all(fault.on_frame(1500) == [0] for _ in range(100))
+    assert fault.frames_dropped == 0
+    assert fault.bursts == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"p_good_to_bad": -0.1},
+        {"p_bad_to_good": 1.5},
+        {"loss_good": 2.0},
+        {"loss_bad": -1.0},
+    ],
+)
+def test_gilbert_elliott_rejects_bad_probabilities(kwargs):
+    with pytest.raises(ConfigError):
+        GilbertElliott(stream(), **kwargs)
+
+
+def test_delay_jitter_stays_in_bounds():
+    fault = DelayJitter(stream(), max_jitter_ns=1000)
+    delays = [fault.on_frame(1500) for _ in range(200)]
+    assert all(len(d) == 1 and 0 <= d[0] <= 1000 for d in delays)
+    assert any(d[0] > 0 for d in delays)
+
+
+def test_delay_jitter_zero_and_negative():
+    assert DelayJitter(stream(), max_jitter_ns=0).on_frame(64) == [0]
+    with pytest.raises(ConfigError):
+        DelayJitter(stream(), max_jitter_ns=-1)
+
+
+def test_duplicate_always_and_never():
+    always = Duplicate(stream(), probability=1.0, lag_ns=7)
+    assert always.on_frame(64) == [0, 7]
+    assert always.duplicated == 1
+    never = Duplicate(stream(), probability=0.0)
+    assert all(never.on_frame(64) == [0] for _ in range(50))
+    assert never.duplicated == 0
+
+
+@pytest.mark.parametrize("kwargs", [{"probability": 1.1}, {"probability": -0.1},
+                                    {"probability": 0.5, "lag_ns": -1}])
+def test_duplicate_rejects_bad_config(kwargs):
+    with pytest.raises(ConfigError):
+        Duplicate(stream(), **kwargs)
+
+
+def test_drop_frames_hits_exact_ordinals():
+    fault = DropFrames({0, 2, 5})
+    verdicts = [fault.on_frame(64) for _ in range(7)]
+    assert verdicts == [[], [0], [], [0], [0], [], [0]]
+    assert fault.seen == 7
+    assert fault.dropped == 3
+
+
+def test_chain_drop_wins():
+    chain = FaultChain([DropFrames({0}), Duplicate(stream(), probability=1.0)])
+    assert chain.on_frame(64) == []
+
+
+def test_chain_downstream_faults_rule_on_each_copy():
+    """Later links see each delivered copy as its own frame: dropping
+    ordinal 0 after a duplicator kills the original, not the copy."""
+    chain = FaultChain(
+        [Duplicate(stream(), probability=1.0, lag_ns=5), DropFrames({0})]
+    )
+    assert chain.on_frame(64) == [5]
+
+
+def test_chain_delays_add_and_duplicates_multiply():
+    chain = FaultChain(
+        [
+            Duplicate(stream("a"), probability=1.0, lag_ns=5),
+            Duplicate(stream("b"), probability=1.0, lag_ns=11),
+        ]
+    )
+    # Two duplicators: four copies, lags combined pairwise.
+    assert sorted(chain.on_frame(64)) == [0, 5, 11, 16]

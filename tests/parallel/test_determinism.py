@@ -6,10 +6,16 @@ execution, and a cache round-trip must all yield bit-identical numbers —
 including the full latency trace, not just the headline throughput.
 """
 
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
 from repro.cache import ResultCache
+from repro.config import FilerConfig, MountConfig, NetConfig
 from repro.experiments import ExecutionContext
 from repro.experiments.figure1 import run_sweep, sweep_specs
+from repro.faults import run_scenario_payload
 from repro.parallel import JobSpec, PointResult, SweepExecutor
+from repro.units import MIB, ms
 
 SPECS = [
     JobSpec(target=target, client=client, file_bytes=size)
@@ -18,6 +24,26 @@ SPECS = [
         ("linux", "enhanced", 2_000_000),
         ("local", "stock", 1_000_000),
     )
+]
+
+#: Runs with faults active: packet loss plus filer checkpoint pauses
+#: (tiny NVRAM forces a mid-run pause) and a lossy knfsd run.
+FAULTED_SPECS = [
+    JobSpec(
+        target="netapp",
+        client="stock",
+        file_bytes=2_000_000,
+        net=NetConfig(loss_probability=0.02),
+        mount=MountConfig(timeo_ns=ms(20), retrans=7),
+        filer_config=FilerConfig(nvram_bytes=2 * MIB),
+    ),
+    JobSpec(
+        target="linux",
+        client="enhanced",
+        file_bytes=1_000_000,
+        net=NetConfig(loss_probability=0.01),
+        mount=MountConfig(timeo_ns=ms(20), retrans=7),
+    ),
 ]
 
 
@@ -69,6 +95,41 @@ def test_figure_sweep_identical_across_contexts(tmp_path):
     cold = run_sweep(**kwargs, context=ctx)
     warm = run_sweep(**kwargs, context=ctx)
     assert serial == pooled == cold == warm
+
+
+def test_faulted_runs_bit_identical_across_modes(tmp_path):
+    """Fault injection must not break the determinism contract: a lossy,
+    pause-ridden run replays bit-identically in-process, across a worker
+    pool, and through the result cache."""
+    serial = SweepExecutor(jobs=1).map(FAULTED_SPECS)
+    pooled = SweepExecutor(jobs=2).map(FAULTED_SPECS)
+    cache = ResultCache(str(tmp_path))
+    cold = SweepExecutor(jobs=1, cache=cache).map(FAULTED_SPECS)
+    warm = SweepExecutor(jobs=2, cache=cache).map(FAULTED_SPECS)
+    clean = SweepExecutor(jobs=1).map(
+        [replace(spec, net=None, mount=None, filer_config=None)
+         for spec in FAULTED_SPECS]
+    )
+    for s, p, c, w, base in zip(serial, pooled, cold, warm, clean):
+        # The faults really fired: loss + pauses cost wall-clock time.
+        faulted_total = s.write_elapsed_ns + s.flush_elapsed_ns
+        assert faulted_total > base.write_elapsed_ns + base.flush_elapsed_ns
+        assert_identical(s, p)
+        assert_identical(s, c)
+        assert_identical(s, w)
+
+
+def test_fault_scenario_identical_in_process_and_in_worker():
+    """A chaos scenario (burst loss + server checkpoint behaviour) is a
+    pure function of (name, seed), wherever it runs."""
+    first = run_scenario_payload("lossy-burst", seed=5)
+    second = run_scenario_payload("lossy-burst", seed=5)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        remote = list(
+            pool.map(run_scenario_payload, ["lossy-burst"] * 2, [5, 5])
+        )
+    assert first == second == remote[0] == remote[1]
+    assert first["fingerprint"] == remote[1]["fingerprint"]
 
 
 def test_sweep_specs_cover_the_grid():

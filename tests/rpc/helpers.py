@@ -17,7 +17,7 @@ class EchoWorld:
     """
 
     def __init__(self, service_ns=us(100), slots=16, timeo_ns=700_000_000,
-                 lock_policy=None, net=None):
+                 lock_policy=None, net=None, **xprt_kwargs):
         self.sim = Simulator()
         self.switch = Switch(self.sim)
         net = net or NetConfig.gigabit()
@@ -37,6 +37,7 @@ class EchoWorld:
             slots=slots,
             timeo_ns=timeo_ns,
             lock_policy=lock_policy,
+            **xprt_kwargs,
         )
         self.paused = False
 

@@ -1,0 +1,292 @@
+"""Transport behaviour under injected faults: retransmission, DRC,
+congestion-window recovery, soft/hard mounts, adaptive timeouts,
+jukebox, duplicate replies."""
+
+import pytest
+
+from repro.errors import EioError, JukeboxError, ProtocolError
+from repro.faults import DropFrames, Duplicate, GilbertElliott, SlotStarvation
+from repro.rpc import RpcCall, RpcServer, UdpTransport
+from repro.sim import RngStreams
+from repro.units import ms, us
+
+from .helpers import EchoWorld
+
+
+def test_retransmit_under_burst_loss():
+    """A hard mount rides out Gilbert-Elliott burst loss on the reply
+    path: every call completes, via retransmits answered from the DRC."""
+    world = EchoWorld(timeo_ns=ms(5))
+    fault = GilbertElliott(
+        RngStreams(3).stream("burst"), p_good_to_bad=0.2, p_bad_to_good=0.3
+    )
+    world.switch.install_fault("client", downlink=fault)
+
+    def client():
+        for i in range(30):
+            reply = yield from world.xprt.call_and_wait(world.make_call(i))
+            assert reply.result == ("echo", i)
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert fault.frames_dropped > 0
+    assert world.xprt.stats.retransmits >= 1
+    assert world.xprt.stats.completed == 30
+    # Dropped replies were re-served from the duplicate request cache:
+    # the server never executed a call twice.
+    assert len(world.served) == 30
+    assert world.server.drc_hits >= 1
+
+
+def test_reply_served_from_drc_after_retransmit():
+    """Lose exactly the first reply frame: the retransmitted call must be
+    answered from the server's DRC, not re-executed."""
+    world = EchoWorld(timeo_ns=ms(5))
+    world.switch.install_fault("server", uplink=DropFrames({0}))
+    results = []
+
+    def client():
+        reply = yield from world.xprt.call_and_wait(world.make_call("once"))
+        results.append(reply.result)
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert results == [("echo", "once")]
+    assert world.xprt.stats.retransmits == 1
+    assert len(world.served) == 1  # executed exactly once
+    assert world.server.drc_hits == 1
+
+
+def test_cwnd_halves_on_timeout_and_recovers():
+    world = EchoWorld(timeo_ns=ms(5), slots=16)
+    # First reply lost: one timeout halves cwnd from 2.0 to its floor.
+    world.switch.install_fault("server", uplink=DropFrames({0}))
+    samples = []
+
+    def sampler():
+        # Catch the window between the timeout (~5 ms) and the
+        # DRC-served reply to the retransmit re-growing cwnd.
+        while world.sim.now < ms(6):
+            samples.append(world.xprt.cwnd)
+            yield world.sim.timeout(us(100))
+
+    def client():
+        yield from world.xprt.call_and_wait(world.make_call("lossy"))
+        reqs = []
+        for i in range(60):
+            req = yield from world.xprt.submit(world.make_call(i))
+            reqs.append(req)
+        for req in reqs:
+            yield req.completion
+
+    world.sim.spawn(client())
+    world.sim.spawn(sampler())
+    world.sim.run()
+    assert world.xprt.stats.retransmits == 1
+    assert 1.0 in samples  # halved to the floor after the timeout
+    assert world.xprt.cwnd > UdpTransport.INITIAL_CWND  # recovered past start
+
+
+def test_duplicate_reply_counted_not_reprocessed():
+    """Every reply frame delivered twice: the transport must count the
+    duplicate xid and complete each call exactly once."""
+    world = EchoWorld()
+    dup = Duplicate(RngStreams(1).stream("dup"), probability=1.0, lag_ns=us(3))
+    world.switch.install_fault("client", downlink=dup)
+    results = []
+
+    def client():
+        for i in range(5):
+            reply = yield from world.xprt.call_and_wait(world.make_call(i))
+            results.append(reply.result)
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert len(results) == 5
+    assert world.xprt.stats.completed == 5
+    assert world.xprt.stats.duplicate_replies == 5
+    assert dup.duplicated >= 5
+
+
+def test_soft_mount_fails_with_eio_after_major_timeout():
+    world = EchoWorld(timeo_ns=ms(2), retrans=2, soft=True)
+    world.server.drop_incoming = True  # server is gone for good
+    errors = []
+
+    def client():
+        try:
+            yield from world.xprt.call_and_wait(world.make_call("doomed"))
+        except EioError as err:
+            errors.append(err)
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert len(errors) == 1
+    stats = world.xprt.stats
+    assert stats.major_timeouts == 1
+    assert stats.soft_failures == 1
+    # retrans minor timeouts were used up before giving up.
+    assert stats.retransmits == 2
+    assert world.xprt.outstanding == 0
+
+
+def test_soft_failure_invokes_on_error_callback():
+    world = EchoWorld(timeo_ns=ms(2), retrans=1, soft=True)
+    world.server.drop_incoming = True
+    seen = []
+
+    def on_error(reply):
+        seen.append(reply.result.code)
+        return
+        yield  # pragma: no cover
+
+    def client():
+        req = yield from world.xprt.submit(
+            world.make_call("cb"), on_error=on_error
+        )
+        yield req.completion
+
+    world.sim.spawn(client())
+    world.sim.run()
+    assert seen == ["ETIMEDOUT"]
+
+
+def test_hard_mount_retries_past_major_timeout():
+    """Hard semantics: the retrans cap only restarts the backoff cycle;
+    the call survives a server outage longer than the whole budget."""
+    world = EchoWorld(timeo_ns=ms(2), retrans=2)
+    world.server.drop_incoming = True
+
+    def heal():
+        yield world.sim.timeout(ms(60))
+        world.server.drop_incoming = False
+
+    results = []
+
+    def client():
+        reply = yield from world.xprt.call_and_wait(world.make_call("persist"))
+        results.append(reply.result)
+
+    world.sim.spawn(client())
+    world.sim.spawn(heal())
+    world.sim.run()
+    assert results == [("echo", "persist")]
+    stats = world.xprt.stats
+    assert stats.major_timeouts >= 1
+    assert stats.soft_failures == 0
+    assert stats.retransmits > 2  # kept going past the retrans budget
+
+
+def test_adaptive_timeout_learns_rtt():
+    world = EchoWorld(service_ns=us(100), timeo_ns=ms(700), adaptive_timeo=True)
+
+    def client():
+        for i in range(20):
+            yield from world.xprt.call_and_wait(world.make_call(i))
+
+    world.sim.spawn(client())
+    world.sim.run()
+    est = world.xprt.rtt["meta"]  # ECHO is not a READ/WRITE/COMMIT
+    assert est.samples == 20
+    # The learned timeout reflects the ~sub-ms RTT, not the 700 ms base.
+    assert est.timeout_ns() < ms(50)
+    assert est.timeout_ns() >= est.min_ns
+
+
+def test_adaptive_timeout_karns_rule_skips_retransmitted_samples():
+    world = EchoWorld(timeo_ns=ms(5), adaptive_timeo=True)
+    world.switch.install_fault("server", uplink=DropFrames({0}))
+
+    def client():
+        yield from world.xprt.call_and_wait(world.make_call("retrans"))
+        yield from world.xprt.call_and_wait(world.make_call("clean"))
+
+    world.sim.spawn(client())
+    world.sim.run()
+    # Only the un-retransmitted call contributed a sample.
+    assert world.xprt.stats.retransmits == 1
+    assert world.xprt.rtt["meta"].samples == 1
+
+
+def test_jukebox_reply_retried_after_delay():
+    from repro.config import NetConfig
+    from repro.net import Host, Switch
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    switch = Switch(sim)
+    net = NetConfig.gigabit()
+    client_host = Host(sim, "client", switch, net, ncpus=2)
+    server_host = Host(sim, "server", switch, net, ncpus=2)
+    attempts = []
+
+    def handler(call):
+        attempts.append(sim.now)
+        if len(attempts) == 1:
+            raise JukeboxError("media offline")
+        return ("ok", call.args), 128
+        yield  # pragma: no cover
+
+    server = RpcServer(server_host, 2049, handler, name="jbox")
+    xprt = UdpTransport(
+        client_host,
+        client_host.udp.socket(800),
+        "server",
+        2049,
+        jukebox_delay_ns=ms(10),
+    )
+    results = []
+
+    def client():
+        call = RpcCall(xid=xprt.next_xid(), prog="t", proc="WRITE", args="d", size=500)
+        reply = yield from xprt.call_and_wait(call)
+        results.append(reply.result)
+
+    sim.spawn(client())
+    sim.run()
+    assert results == [("ok", "d")]
+    assert len(attempts) == 2
+    assert attempts[1] - attempts[0] >= ms(10)  # waited the jukebox delay
+    assert xprt.stats.jukebox_retries == 1
+    assert server.jukebox_replies == 1
+    # Jukebox errors are not server faults, and must not poison the DRC.
+    assert server.errors == 0
+
+
+def test_slot_starvation_window_caps_in_flight():
+    world = EchoWorld(service_ns=us(300), slots=16)
+    SlotStarvation(world.sim, world.xprt, us(10), ms(3), slots=1)
+    peaks = []
+
+    def client():
+        reqs = []
+        for i in range(30):
+            req = yield from world.xprt.submit(world.make_call(i))
+            reqs.append(req)
+            peaks.append((world.sim.now, len(world.xprt.in_flight)))
+        for req in reqs:
+            yield req.completion
+
+    def watcher():
+        while world.sim.now < ms(3):
+            assert len(world.xprt.in_flight) <= 1
+            yield world.sim.timeout(us(50))
+
+    world.sim.spawn(client())
+    world.sim.spawn(watcher())
+    world.sim.run()
+    assert world.xprt.stats.completed == 30
+    assert world.xprt.stats.backlog_peak >= 10
+    assert world.xprt.slot_override is None  # restored
+
+
+def test_invalid_retrans_rejected():
+    from repro.config import NetConfig
+    from repro.net import Host, Switch
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    switch = Switch(sim)
+    host = Host(sim, "h", switch, NetConfig.gigabit())
+    with pytest.raises(ProtocolError):
+        UdpTransport(host, host.udp.socket(1), "s", 2049, retrans=0)
