@@ -1,0 +1,133 @@
+"""Invariant checkers: accounting, durability, and FIFO wake order.
+
+Two kinds live here:
+
+* :class:`FifoSanitizer` — a live observer attached to
+  :class:`~repro.sim.sync.WaitQueue` instances.  Every sleeper gets a
+  monotonically increasing ticket; every wake must resume the smallest
+  outstanding ticket, machine-checking the "strictly FIFO" promise the
+  sync module's docstring makes (and that run determinism rests on).
+
+* End-of-run audits over an assembled client/server pair:
+
+  - **accounting** — the live request count, the request-index
+    population, and the per-inode sums must all agree (the §3.4 index
+    and the inode lists are views of the same set of requests),
+  - **stable-bytes** — no acknowledged-stable byte may be lost: the
+    server's durable byte count must cover everything the client has
+    counted into ``bytes_acked_stable`` (the NFSv3 write-verifier
+    contract the chaos scenarios exercise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .report import RuntimeFinding
+
+__all__ = ["FifoSanitizer", "audit_accounting", "audit_stable_bytes"]
+
+
+class FifoSanitizer:
+    """Checks WaitQueues wake sleepers in arrival order."""
+
+    def __init__(self, max_findings: int = 100):
+        self.max_findings = max_findings
+        self.findings: List[RuntimeFinding] = []
+        #: per-queue state: {"tickets": {event: ticket}, "next": int}
+        self._queues: Dict[object, Dict[str, object]] = {}
+        self.wakes_checked = 0
+
+    def on_sleep(self, waitq, event) -> None:
+        state = self._queues.setdefault(waitq, {"tickets": {}, "next": 0})
+        state["tickets"][event] = state["next"]
+        state["next"] += 1
+
+    def on_wake(self, waitq, event) -> None:
+        state = self._queues.get(waitq)
+        if state is None:
+            return
+        tickets = state["tickets"]
+        ticket = tickets.pop(event, None)
+        if ticket is None:
+            return
+        self.wakes_checked += 1
+        earlier = [t for t in tickets.values() if t < ticket]
+        if earlier and len(self.findings) < self.max_findings:
+            self.findings.append(
+                RuntimeFinding(
+                    "waitq-fifo",
+                    f"'{waitq.name}' woke sleeper #{ticket} while "
+                    f"{len(earlier)} earlier sleeper(s) (oldest "
+                    f"#{min(earlier)}) still wait — FIFO order broken",
+                )
+            )
+
+
+def audit_accounting(client) -> List[RuntimeFinding]:
+    """Cross-check the client's request counters against its structures."""
+    findings: List[RuntimeFinding] = []
+    index_len = len(client.index)
+    if index_len != client.live_requests:
+        findings.append(
+            RuntimeFinding(
+                "accounting",
+                f"request count mismatch: client counts "
+                f"{client.live_requests} live request(s) but the "
+                f"{client.index.kind} index holds {index_len}",
+            )
+        )
+    inode_live = sum(inode.live_requests for inode in client.inodes())
+    if inode_live != client.live_requests:
+        findings.append(
+            RuntimeFinding(
+                "accounting",
+                f"per-inode live sums ({inode_live}) disagree with the "
+                f"client total ({client.live_requests})",
+            )
+        )
+    writeback = sum(inode.writeback_requests for inode in client.inodes())
+    if writeback != client.writeback_count:
+        findings.append(
+            RuntimeFinding(
+                "accounting",
+                f"per-inode writeback sums ({writeback}) disagree with "
+                f"the client writeback count ({client.writeback_count})",
+            )
+        )
+    for inode in client.inodes():
+        if (
+            inode.live_requests < 0
+            or inode.writes_in_flight < 0
+            or inode.unstable_bytes < 0
+        ):
+            findings.append(
+                RuntimeFinding(
+                    "accounting",
+                    f"negative counter on inode {inode.fileid}: "
+                    f"live={inode.live_requests} "
+                    f"in_flight={inode.writes_in_flight} "
+                    f"unstable_bytes={inode.unstable_bytes}",
+                )
+            )
+    return findings
+
+
+def audit_stable_bytes(client, server) -> List[RuntimeFinding]:
+    """No acknowledged-stable byte lost: server durability must cover
+    everything the client believes is stable."""
+    files = getattr(server, "files", None)
+    if files is None:
+        return []
+    server_stable = sum(file.stable_bytes for file in files.values())
+    acked = client.stats.bytes_acked_stable
+    if server_stable < acked:
+        return [
+            RuntimeFinding(
+                "stable-bytes",
+                f"acknowledged-stable data lost: client acked {acked} "
+                f"stable byte(s) but the server holds only "
+                f"{server_stable} durable",
+            )
+        ]
+    return []

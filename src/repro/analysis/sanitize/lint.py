@@ -1,0 +1,640 @@
+"""AST-based determinism linter for the simulator source tree.
+
+The whole reproduction strategy rests on bit-for-bit deterministic
+replay: a stray ``time.time()``, an unseeded ``random`` draw, or an
+iteration order that depends on object identity silently breaks the
+fingerprint contract, and the failure only surfaces far downstream as a
+cache or replay mismatch.  This linter walks the source with
+:mod:`ast` (stdlib only — no third-party dependencies) and flags the
+hazard classes we have actually been bitten by:
+
+=======  ====================  ========================================
+code     name                  hazard
+=======  ====================  ========================================
+DET101   unseeded-rng          process-global ``random`` draws /
+                               ``random.Random()`` without a seed
+DET102   wall-clock            ``time.time()``/``datetime.now()`` etc.
+                               leaking host time into the simulation
+DET103   unordered-iteration   iterating a ``set`` expression, whose
+                               order varies with PYTHONHASHSEED
+DET104   id-in-key             ``id()`` inside sort keys or ``hash()``
+                               inputs (address-dependent ordering)
+DET105   stray-random-import   ``import random`` outside ``sim.rng``
+                               (all randomness must flow through
+                               named :class:`RngStreams` streams)
+MUT201   mutable-default       mutable default argument values
+DEAD301  unreachable-code      statements after ``return``/``raise``/
+                               ``break``/``continue`` (the class of bug
+                               behind the dead ``yield`` once shipped
+                               in ``rpc.xprt._handle_reply``)
+SUP401   unused-suppression    a ``noqa`` that suppresses nothing
+                               (reported in ``--strict`` only)
+SYN001   syntax-error          file does not parse
+=======  ====================  ========================================
+
+Suppressions use ``# noqa: CODE`` (or ``# noqa: CODE1,CODE2``) on the
+flagged line; a bare ``# noqa`` silences every rule on the line.  Add a
+justification after the codes — stale suppressions are themselves
+flagged under ``--strict``.
+
+The recognised *generator-marker* idiom — a bare ``yield`` directly
+after ``return``, which turns a plain function into a generator — is
+exempt from DEAD301: it is load-bearing throughout the lock layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "LintFinding",
+    "lint_source",
+    "lint_paths",
+    "run_lint",
+    "default_lint_root",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    code: str
+    name: str
+    severity: str
+    summary: str
+
+
+_RULE_LIST = [
+    Rule(
+        "DET101",
+        "unseeded-rng",
+        SEVERITY_ERROR,
+        "process-global or unseeded RNG breaks deterministic replay; "
+        "draw from a named repro.sim.RngStreams stream instead",
+    ),
+    Rule(
+        "DET102",
+        "wall-clock",
+        SEVERITY_ERROR,
+        "host wall-clock reads leak nondeterminism into the simulation; "
+        "use the simulator clock (sim.now) for model time",
+    ),
+    Rule(
+        "DET103",
+        "unordered-iteration",
+        SEVERITY_ERROR,
+        "iterating a set yields PYTHONHASHSEED-dependent order; sort it "
+        "or keep an insertion-ordered structure",
+    ),
+    Rule(
+        "DET104",
+        "id-in-key",
+        SEVERITY_ERROR,
+        "id() in a sort key or hash input depends on allocation addresses "
+        "and varies run to run",
+    ),
+    Rule(
+        "DET105",
+        "stray-random-import",
+        SEVERITY_WARNING,
+        "import random outside repro.sim.rng; all randomness must flow "
+        "through named RngStreams streams",
+    ),
+    Rule(
+        "MUT201",
+        "mutable-default",
+        SEVERITY_ERROR,
+        "mutable default argument is shared across calls",
+    ),
+    Rule(
+        "DEAD301",
+        "unreachable-code",
+        SEVERITY_ERROR,
+        "statement is unreachable after an unconditional return/raise/"
+        "break/continue",
+    ),
+    Rule(
+        "SUP401",
+        "unused-suppression",
+        SEVERITY_WARNING,
+        "noqa comment suppresses no finding on this line; remove it",
+    ),
+    Rule("SYN001", "syntax-error", SEVERITY_ERROR, "file does not parse"),
+]
+
+RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint hit, pointing at a source coordinate."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+# -- detection ---------------------------------------------------------------
+
+#: random-module functions that draw from the process-global RNG.
+_GLOBAL_RNG_FNS = frozenset(
+    [
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+    ]
+)
+
+#: time-module wall-clock readers (the sim clock is ``sim.now``).
+_WALL_CLOCK_FNS = frozenset(
+    [
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "clock",
+    ]
+)
+
+_DATETIME_FNS = frozenset(["now", "utcnow", "today"])
+_DATETIME_BASES = frozenset(["datetime", "date"])
+
+#: constructors of mutable containers (bad default arguments).
+_MUTABLE_CTORS = frozenset(
+    ["list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter", "bytearray"]
+)
+
+#: order-sensitive consumers of an iterable's raw order.
+_ORDER_SENSITIVE_FNS = frozenset(["list", "tuple", "enumerate", "reversed"])
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _is_generator_marker(stmt: ast.stmt) -> bool:
+    """The deliberate ``return`` + bare ``yield`` generator idiom."""
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Yield)
+        and stmt.value.value is None
+    )
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in _MUTABLE_CTORS
+        if isinstance(func, ast.Attribute):
+            return func.attr in _MUTABLE_CTORS
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[LintFinding] = []
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        rule = RULES[code]
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+                severity=rule.severity,
+            )
+        )
+
+    # -- DET101 / DET102 / DET104 and order-sensitive calls -----------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base == "random":
+                if attr in _GLOBAL_RNG_FNS:
+                    self._flag(
+                        node,
+                        "DET101",
+                        f"random.{attr}() draws from the process-global RNG; "
+                        "use a named RngStreams stream",
+                    )
+                elif attr == "Random" and not node.args and not node.keywords:
+                    self._flag(
+                        node,
+                        "DET101",
+                        "random.Random() without a seed is nondeterministic; "
+                        "pass an explicit seed or use RngStreams",
+                    )
+            if base == "time" and attr in _WALL_CLOCK_FNS:
+                self._flag(
+                    node,
+                    "DET102",
+                    f"time.{attr}() reads the host clock; simulated time is "
+                    "sim.now",
+                )
+        if isinstance(func, ast.Attribute) and func.attr in _DATETIME_FNS:
+            value = func.value
+            base_name = None
+            if isinstance(value, ast.Name):
+                base_name = value.id
+            elif isinstance(value, ast.Attribute):
+                base_name = value.attr
+            if base_name in _DATETIME_BASES:
+                self._flag(
+                    node,
+                    "DET102",
+                    f"{base_name}.{func.attr}() reads the host clock; "
+                    "simulated time is sim.now",
+                )
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            self._flag(
+                node,
+                "DET101",
+                "Random() without a seed is nondeterministic; pass an "
+                "explicit seed or use RngStreams",
+            )
+
+        # DET104: id() inside sort keys.
+        is_sort = (isinstance(func, ast.Name) and func.id in ("sorted", "min", "max")) or (
+            isinstance(func, ast.Attribute) and func.attr == "sort"
+        )
+        if is_sort:
+            for keyword in node.keywords:
+                if keyword.arg == "key":
+                    self._flag_id_calls(keyword.value, "a sort key")
+        # DET104: id() inside hash() inputs.
+        if isinstance(func, ast.Name) and func.id == "hash":
+            for arg in node.args:
+                self._flag_id_calls(arg, "a hash() input")
+
+        # DET103: order-sensitive consumption of a set expression.
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_SENSITIVE_FNS
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self._flag(
+                node,
+                "DET103",
+                f"{func.id}() over a set captures hash order; sort first",
+            )
+        self.generic_visit(node)
+
+    def _flag_id_calls(self, node: ast.AST, where: str) -> None:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "id"
+            ):
+                self._flag(
+                    sub,
+                    "DET104",
+                    f"id() used in {where} depends on allocation addresses",
+                )
+
+    # -- DET103: direct iteration over set expressions ----------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._flag(
+                node.iter,
+                "DET103",
+                "for-loop over a set iterates in hash order; sort first",
+            )
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if _is_set_expr(node.iter):
+            self._flag(
+                node.iter,
+                "DET103",
+                "comprehension over a set iterates in hash order; sort first",
+            )
+        self.generic_visit(node)
+
+    # -- DET105: stray random imports ---------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._flag(
+                    node,
+                    "DET105",
+                    "import random outside repro.sim.rng; randomness must "
+                    "flow through named RngStreams streams",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._flag(
+                node,
+                "DET105",
+                "from random import ... outside repro.sim.rng; randomness "
+                "must flow through named RngStreams streams",
+            )
+        self.generic_visit(node)
+
+    # -- MUT201: mutable defaults -------------------------------------------
+
+    def _check_defaults(self, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            if _is_mutable_default(default):
+                self._flag(
+                    default,
+                    "MUT201",
+                    "mutable default argument is created once and shared "
+                    "across calls; default to None and build inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+
+def _check_unreachable(tree: ast.AST, visitor: _Visitor) -> None:
+    """DEAD301: statements after an unconditional terminator."""
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, field, None)
+            if not isinstance(stmts, list):
+                continue
+            terminated_at: Optional[int] = None
+            for i, stmt in enumerate(stmts):
+                if terminated_at is not None:
+                    if _is_generator_marker(stmt):
+                        continue  # the sanctioned return-then-yield idiom
+                    terminator = stmts[terminated_at]
+                    visitor._flag(
+                        stmt,
+                        "DEAD301",
+                        f"unreachable: the "
+                        f"{type(terminator).__name__.lower()} on line "
+                        f"{terminator.lineno} always exits this block first",
+                    )
+                    break
+                if isinstance(stmt, _TERMINATORS):
+                    terminated_at = i
+
+
+# -- suppressions ------------------------------------------------------------
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]{2,4}\d{3}(?:\s*,\s*[A-Z]{2,4}\d{3})*))?",
+)
+
+
+def _collect_suppressions(source: str) -> Dict[int, List[object]]:
+    """Map line number -> [codes_or_None_for_all, used_flag]."""
+    suppressions: Dict[int, List[object]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            codes = (
+                frozenset(code.strip() for code in raw.split(",")) if raw else None
+            )
+            suppressions[token.start[0]] = [codes, False]
+    except tokenize.TokenError:
+        pass  # unterminated constructs: ast.parse reports SYN001 anyway
+    return suppressions
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    strict: bool = False,
+    select: Optional[Iterable[str]] = None,
+) -> List[LintFinding]:
+    """Lint one source blob; returns findings after suppression."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [
+            LintFinding(
+                path=path,
+                line=err.lineno or 1,
+                col=err.offset or 0,
+                code="SYN001",
+                message=f"syntax error: {err.msg}",
+                severity=SEVERITY_ERROR,
+            )
+        ]
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    _check_unreachable(tree, visitor)
+    suppressions = _collect_suppressions(source)
+    kept: List[LintFinding] = []
+    for finding in visitor.findings:
+        entry = suppressions.get(finding.line)
+        if entry is not None and (entry[0] is None or finding.code in entry[0]):
+            entry[1] = True
+            continue
+        kept.append(finding)
+    if strict:
+        for line in sorted(suppressions):
+            codes, used = suppressions[line]
+            if used or codes is None:
+                # Bare ``# noqa`` and foreign codes (e.g. flake8's
+                # BLE001) may serve other tools; only our own stale
+                # codes are worth reporting.
+                continue
+            ours = codes & RULES.keys()
+            if ours:
+                kept.append(
+                    LintFinding(
+                        path=path,
+                        line=line,
+                        col=0,
+                        code="SUP401",
+                        message=f"noqa ({','.join(sorted(ours))}) suppresses "
+                        "no finding on this line; remove the stale "
+                        "suppression",
+                        severity=SEVERITY_WARNING,
+                    )
+                )
+    if select is not None:
+        wanted = frozenset(select)
+        kept = [f for f in kept if f.code in wanted]
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
+    return kept
+
+
+def _iter_py_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package directory — the default target."""
+    return Path(__file__).resolve().parents[2]
+
+
+def lint_paths(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    strict: bool = False,
+    select: Optional[Iterable[str]] = None,
+) -> List[LintFinding]:
+    """Lint files/directories (default: the repro package source)."""
+    if not paths:
+        paths = [default_lint_root()]
+    findings: List[LintFinding] = []
+    for path in _iter_py_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as err:
+            findings.append(
+                LintFinding(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    code="SYN001",
+                    message=f"unreadable: {err}",
+                    severity=SEVERITY_ERROR,
+                )
+            )
+            continue
+        findings.extend(
+            lint_source(source, path=str(path), strict=strict, select=select)
+        )
+    return findings
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    strict: bool = False,
+    select: Optional[str] = None,
+    fmt: str = "text",
+    out=None,
+) -> int:
+    """CLI driver for ``repro-nfs lint``.
+
+    Exit status: 0 clean, 1 findings (errors always fail; warnings fail
+    only under ``--strict``).
+    """
+    if out is None:
+        out = sys.stdout
+    selected = None
+    if select:
+        selected = [code.strip() for code in select.split(",") if code.strip()]
+        unknown = [code for code in selected if code not in RULES]
+        if unknown:
+            out.write(f"unknown rule code(s): {', '.join(unknown)}\n")
+            out.write(f"known codes: {', '.join(sorted(RULES))}\n")
+            return 2
+    findings = lint_paths(paths, strict=strict, select=selected)
+    errors = [f for f in findings if f.severity == SEVERITY_ERROR]
+    warnings = [f for f in findings if f.severity == SEVERITY_WARNING]
+    if fmt == "json":
+        out.write(
+            json.dumps(
+                [finding.__dict__ for finding in findings],
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+    else:
+        cwd = Path.cwd()
+        for finding in findings:
+            path = Path(finding.path)
+            try:
+                shown = path.relative_to(cwd)
+            except ValueError:
+                shown = path
+            out.write(
+                f"{shown}:{finding.line}:{finding.col}: "
+                f"{finding.code} {finding.message}\n"
+            )
+        out.write(
+            f"{len(findings)} finding(s): {len(errors)} error(s), "
+            f"{len(warnings)} warning(s)\n"
+        )
+    failed = bool(errors) or (strict and bool(warnings))
+    return 1 if failed else 0

@@ -1,0 +1,243 @@
+"""Runtime lock-order / deadlock sanitizer for :class:`MonitoredLock`.
+
+Attach an instance as ``lock.sanitizer`` (TestBeds do this through
+:func:`repro.analysis.sanitize.runtime.sanitized`) and it observes every
+acquisition event the lock emits — free takes, reentrant entries,
+blocking waits, handoffs, releases, and the BKL's ``break_all`` /
+``reacquire`` depth gymnastics.  It is a pure observer: it never
+schedules events, draws randomness, or touches lock state, so a
+sanitized run keeps the exact fingerprint of an unsanitized one.
+
+Four properties are checked:
+
+* **lock-order**: a per-task held-lock acquisition graph; taking B while
+  holding A records the edge A→B, and a later A-while-holding-B records
+  the inversion with both witness traces,
+* **deadlock**: a waits-for graph walked at every block; a cycle
+  produces a readable witness chain ("task w holds 'a', waits for 'b'
+  held by task x, ...") the moment the simulation wedges,
+* **lock-fifo**: handoffs must go to the longest-blocked waiter,
+* **lock-depth**: a shadow hold-depth per (task, lock) cross-checked at
+  every reenter/exit/release and across ``break_all``/``reacquire``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .report import RuntimeFinding
+
+__all__ = ["LockOrderSanitizer"]
+
+
+def _task_name(task) -> str:
+    return getattr(task, "name", None) or repr(task)
+
+
+class LockOrderSanitizer:
+    """Observer for the lock hooks in :mod:`repro.sim.sync`."""
+
+    def __init__(self, sim, max_findings: int = 100):
+        self._sim = sim
+        self.max_findings = max_findings
+        self.findings: List[RuntimeFinding] = []
+        #: per-task stack of held locks, in acquisition order.
+        self._held: Dict[object, List[object]] = {}
+        #: shadow hold depth per task, per lock.
+        self._shadow: Dict[object, Dict[object, int]] = {}
+        #: task -> (lock, label) it is currently blocked on.
+        self._blocked: Dict[object, Tuple[object, str]] = {}
+        #: mirror of each lock's FIFO waiter queue.
+        self._waiters: Dict[object, List[object]] = {}
+        #: first witness per ordered (earlier, later) lock-name pair.
+        self._order: Dict[Tuple[str, str], str] = {}
+        #: name pairs already reported as inverted (both orientations).
+        self._reported: Dict[Tuple[str, str], bool] = {}
+        #: events observed, for cheap "did it run" assertions in tests.
+        self.events = 0
+
+    # -- findings -----------------------------------------------------------
+
+    def _report(self, category: str, message: str) -> None:
+        if len(self.findings) < self.max_findings:
+            self.findings.append(
+                RuntimeFinding(category, message, time_ns=self._sim.now)
+            )
+
+    # -- hook points (called by MonitoredLock / BigKernelLock) ---------------
+
+    def on_acquire(self, lock, task, label: str) -> None:
+        """Task took the free lock immediately."""
+        self.events += 1
+        self._record_order(lock, task, label)
+        self._grant(lock, task)
+
+    def on_block(self, lock, task, label: str) -> None:
+        """Task is about to wait for a held lock."""
+        self.events += 1
+        self._record_order(lock, task, label)
+        self._blocked[task] = (lock, label)
+        self._waiters.setdefault(lock, []).append(task)
+        self._check_deadlock(lock, task, label)
+
+    def on_handoff(self, lock, task) -> None:
+        """Ownership transferred to a blocked waiter inside release()."""
+        self.events += 1
+        queue = self._waiters.get(lock)
+        if queue:
+            expected = queue[0]
+            if expected is not task:
+                self._report(
+                    "lock-fifo",
+                    f"non-FIFO handoff on '{lock.name}': granted to task "
+                    f"'{_task_name(task)}' while '{_task_name(expected)}' "
+                    "blocked earlier",
+                )
+            try:
+                queue.remove(task)
+            except ValueError:
+                pass
+        self._blocked.pop(task, None)
+        self._grant(lock, task)
+
+    def on_reenter(self, lock, task) -> None:
+        """Reentrant acquisition (depth bump) by the owner."""
+        self.events += 1
+        depth = self._bump_shadow(lock, task, +1)
+        if depth != lock.depth:
+            self._report(
+                "lock-depth",
+                f"'{lock.name}' reenter by task '{_task_name(task)}': "
+                f"shadow depth {depth} != lock depth {lock.depth}",
+            )
+
+    def on_exit(self, lock, task) -> None:
+        """Non-final release (depth decrement) by the owner."""
+        self.events += 1
+        depth = self._bump_shadow(lock, task, -1)
+        if depth != lock.depth:
+            self._report(
+                "lock-depth",
+                f"'{lock.name}' exit by task '{_task_name(task)}': "
+                f"shadow depth {depth} != lock depth {lock.depth}",
+            )
+
+    def on_release(self, lock, task) -> None:
+        """Final release: the owner dropped the lock entirely."""
+        self.events += 1
+        shadow = self._shadow.get(task, {})
+        depth = shadow.pop(lock, None)
+        if depth is not None and depth != 1:
+            self._report(
+                "lock-depth",
+                f"'{lock.name}' released by task '{_task_name(task)}' at "
+                f"shadow depth {depth} (expected 1); a reenter/exit or "
+                "break_all went unaccounted",
+            )
+        held = self._held.get(task)
+        if held is not None and lock in held:
+            held.remove(lock)
+
+    def on_break_all(self, lock, task, depth: int) -> None:
+        """``break_all``: the owner is dropping the lock from ``depth``."""
+        self.events += 1
+        shadow = self._shadow.get(task, {})
+        recorded = shadow.get(lock)
+        if recorded is not None and recorded != depth:
+            self._report(
+                "lock-depth",
+                f"'{lock.name}' break_all from depth {depth} but shadow "
+                f"depth is {recorded} for task '{_task_name(task)}'",
+            )
+        if lock in shadow:
+            shadow[lock] = 1  # release() will pop it at the expected depth
+
+    def on_depth_restored(self, lock, task, depth: int) -> None:
+        """``reacquire`` restored the remembered hold depth."""
+        self.events += 1
+        if lock.owner is not task:
+            self._report(
+                "lock-depth",
+                f"'{lock.name}' depth restored to {depth} by task "
+                f"'{_task_name(task)}' which does not own the lock",
+            )
+            return
+        self._shadow.setdefault(task, {})[lock] = depth
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _grant(self, lock, task) -> None:
+        self._shadow.setdefault(task, {})[lock] = 1
+        held = self._held.setdefault(task, [])
+        if lock not in held:
+            held.append(lock)
+
+    def _bump_shadow(self, lock, task, delta: int) -> int:
+        shadow = self._shadow.setdefault(task, {})
+        depth = shadow.get(lock, 1) + delta
+        shadow[lock] = depth
+        return depth
+
+    def _record_order(self, lock, task, label: str) -> None:
+        held = self._held.get(task)
+        if not held:
+            return
+        for prior in held:
+            if prior is lock:
+                continue
+            pair = (prior.name, lock.name)
+            reverse = (lock.name, prior.name)
+            witness = (
+                f"task '{_task_name(task)}' took '{lock.name}' "
+                f"(label '{label}') while holding '{prior.name}' "
+                f"at t={self._sim.now}ns"
+            )
+            if pair not in self._order:
+                self._order[pair] = witness
+            if reverse in self._order and pair not in self._reported:
+                self._reported[pair] = True
+                self._reported[reverse] = True
+                self._report(
+                    "lock-order",
+                    f"lock-order inversion between '{prior.name}' and "
+                    f"'{lock.name}': {witness}; the opposite order was "
+                    f"established earlier: {self._order[reverse]}",
+                )
+
+    def _check_deadlock(self, lock, task, label: str) -> None:
+        chain = [
+            f"task '{_task_name(task)}' holds "
+            f"{self._held_names(task)} and waits for '{lock.name}' "
+            f"(label '{label}')"
+        ]
+        current = lock
+        visited = {task: True}
+        while True:
+            owner = current.owner
+            if owner is None:
+                return
+            if owner is task:
+                self._report(
+                    "deadlock",
+                    "deadlock cycle: " + "; ".join(chain) + f"; '{current.name}' "
+                    f"is owned by task '{_task_name(task)}' — the cycle closes",
+                )
+                return
+            nxt = self._blocked.get(owner)
+            if nxt is None:
+                return  # the owner is runnable; it can still release
+            if owner in visited:
+                return  # a cycle not involving this task; reported when entered
+            visited[owner] = True
+            next_lock, next_label = nxt
+            chain.append(
+                f"task '{_task_name(owner)}' holds '{current.name}' and "
+                f"waits for '{next_lock.name}' (label '{next_label}')"
+            )
+            current = next_lock
+
+    def _held_names(self, task) -> str:
+        held = self._held.get(task) or []
+        if not held:
+            return "no locks"
+        return ", ".join(f"'{lock.name}'" for lock in held)

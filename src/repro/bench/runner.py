@@ -131,6 +131,13 @@ class TestBed:
             )
             self.profiler.start()
 
+        # Inside a `sanitized()` session this attaches the runtime
+        # sanitizers (lock order, races, invariants); otherwise a no-op.
+        # Imported here to keep bench free of analysis at import time.
+        from ..analysis.sanitize.runtime import attach_if_active
+
+        self.sanitizer = attach_if_active(self)
+
     # -- convenience ---------------------------------------------------------
 
     def open_file(self, name: str = "testfile"):

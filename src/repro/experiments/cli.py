@@ -9,6 +9,9 @@ Examples::
     repro-nfs run fig1 --full        # paper-size sweep (slow)
     repro-nfs faults --list
     repro-nfs faults --scenario lossy-burst --seed 1
+    repro-nfs faults --sanitize
+    repro-nfs lint --strict
+    repro-nfs lint src/repro/sim --select DET101,DEAD301
 """
 
 from __future__ import annotations
@@ -102,6 +105,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the second run that checks bit-for-bit determinism",
     )
+    faults.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the runtime sanitizers (lock order, races, "
+        "invariants) and audit their findings as extra invariants",
+    )
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism linter over the simulator sources",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, and flag unused noqa suppressions",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to check (default: all)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
     return parser
 
 
@@ -109,19 +146,23 @@ def run_experiments(
     ids: List[str],
     scale: float,
     quick: bool,
-    out=sys.stdout,
+    out=None,
     dump_dir: Optional[str] = None,
     context: Optional["ExecutionContext"] = None,
 ) -> bool:
     from .base import ExecutionContext
 
+    if out is None:
+        out = sys.stdout
     context = context or ExecutionContext()
     all_passed = True
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
-        started = time.time()
+        # Wall-clock reporting for the human at the terminal; never
+        # feeds back into the simulation.
+        started = time.time()  # noqa: DET102
         result = experiment.run(scale=scale, quick=quick, context=context)
-        elapsed = time.time() - started
+        elapsed = time.time() - started  # noqa: DET102
         out.write(result.render())
         out.write(f"\n({elapsed:.1f} s wall)\n\n")
         if dump_dir:
@@ -137,16 +178,22 @@ def run_fault_scenarios(
     names: Optional[List[str]],
     seed: int,
     verify: bool = True,
-    out=sys.stdout,
+    sanitize: bool = False,
+    out=None,
 ) -> bool:
     from ..faults import SCENARIOS, run_scenario
 
+    if out is None:
+        out = sys.stdout
     names = names or sorted(SCENARIOS)
     all_passed = True
     for name in names:
-        started = time.time()
-        outcome = run_scenario(name, seed=seed, verify_determinism=verify)
-        elapsed = time.time() - started
+        # Wall-clock reporting only, as above.
+        started = time.time()  # noqa: DET102
+        outcome = run_scenario(
+            name, seed=seed, verify_determinism=verify, sanitize=sanitize
+        )
+        elapsed = time.time() - started  # noqa: DET102
         verdict = "PASS" if outcome.passed else "FAIL"
         out.write(
             f"{verdict} {name} (seed={seed}, "
@@ -181,9 +228,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"(expected one of {', '.join(sorted(SCENARIOS))})"
                 )
         ok = run_fault_scenarios(
-            args.scenario, seed=args.seed, verify=not args.no_verify
+            args.scenario,
+            seed=args.seed,
+            verify=not args.no_verify,
+            sanitize=args.sanitize,
         )
         return 0 if ok else 1
+    if args.command == "lint":
+        from ..analysis.sanitize.lint import run_lint
+
+        return run_lint(
+            args.paths or None, strict=args.strict, select=args.select, fmt=args.fmt
+        )
     if args.command == "list":
         for experiment_id in experiment_ids():
             experiment = get_experiment(experiment_id)

@@ -14,7 +14,9 @@ run stays bit-for-bit deterministic.
 
 from __future__ import annotations
 
-import random
+# Typing only: fault models receive already-seeded random.Random streams
+# from RngStreams and never construct their own.
+import random  # noqa: DET105
 from typing import Iterable, List, Sequence
 
 from ..errors import ConfigError

@@ -415,21 +415,58 @@ def run_scenario_payload(name: str, seed: int = 1) -> Dict[str, object]:
     return payload
 
 
+def _sanitizer_invariants(session) -> List[Invariant]:
+    """Fold a sanitize session's findings into scenario invariants.
+
+    Three rows — locks (ordering/deadlock/FIFO/depth), races (unlocked
+    request-list or index mutations), invariants (accounting, durability,
+    wait-queue FIFO) — each ok iff its group found nothing.
+    """
+    groups = session.grouped()
+    rows = []
+    for key in ("locks", "races", "invariants"):
+        findings = groups[key]
+        rows.append(
+            Invariant(
+                f"sanitize-{key}",
+                not findings,
+                "; ".join(str(f) for f in findings[:3]),
+            )
+        )
+    return rows
+
+
 def run_scenario(
-    name: str, seed: int = 1, verify_determinism: bool = True
+    name: str,
+    seed: int = 1,
+    verify_determinism: bool = True,
+    sanitize: bool = False,
 ) -> ScenarioOutcome:
     """Run one named scenario and audit its invariants.
 
     With ``verify_determinism`` the scenario runs twice and the two
     fingerprints must match — the repo's bit-for-bit reproducibility
     contract extended to faulted runs.
+
+    With ``sanitize`` the first run executes under the runtime sanitizers
+    (:mod:`repro.analysis.sanitize`), adding three invariant rows for
+    lock discipline, races, and structural invariants.  Only the first
+    run is sanitized; the replay is not, so a matching fingerprint also
+    proves the sanitizers did not perturb the simulation.
     """
     scenario = SCENARIOS.get(name)
     if scenario is None:
         raise ConfigError(
             f"unknown scenario {name!r} (expected one of {sorted(SCENARIOS)})"
         )
-    payload, invariants = scenario.run(seed)
+    if sanitize:
+        from ..analysis.sanitize import sanitized
+
+        with sanitized() as session:
+            payload, invariants = scenario.run(seed)
+        invariants.extend(_sanitizer_invariants(session))
+    else:
+        payload, invariants = scenario.run(seed)
     fingerprint = _fingerprint(payload)
     if verify_determinism:
         replay, _ = scenario.run(seed)

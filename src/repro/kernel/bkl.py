@@ -41,6 +41,8 @@ class BigKernelLock(MonitoredLock):
         if not self.held_by_current():
             return 0
         depth = self.depth
+        if self.sanitizer is not None:
+            self.sanitizer.on_break_all(self, self._sim.current_task, depth)
         self.depth = 1
         self.release()
         return depth
@@ -56,6 +58,8 @@ class BigKernelLock(MonitoredLock):
             return
         yield from self.acquire(label)
         self.depth = depth
+        if self.sanitizer is not None:
+            self.sanitizer.on_depth_restored(self, self._sim.current_task, depth)
 
 
 class LockPolicy:

@@ -166,6 +166,9 @@ class NfsClient:
         self._inodes: Dict[int, NfsInode] = {}
         self._next_fileid = 1
         self.flushd = NfsFlushd(self)
+        #: optional sanitizer harness; when set, new inodes are watched
+        #: (see repro.analysis.sanitize.runtime).
+        self.sanitizer = None
 
     # -- namespace ---------------------------------------------------------
 
@@ -200,6 +203,8 @@ class NfsClient:
             raise ProtocolError(f"CREATE returned {result!r}")
         inode = NfsInode(self.sim, result.fileid, name)
         self._inodes[result.fileid] = inode
+        if self.sanitizer is not None:
+            self.sanitizer.watch_inode(inode)
         return NfsFile(self, inode, sync=sync)
 
     def open_existing(self, name: str, sync: bool = False):
@@ -228,6 +233,8 @@ class NfsClient:
             inode = NfsInode(self.sim, result.fileid, name)
             inode.server_change_id = result.change_id
             self._inodes[result.fileid] = inode
+            if self.sanitizer is not None:
+                self.sanitizer.watch_inode(inode)
         elif inode.server_change_id != result.change_id:
             inode.invalidate_cache()
             inode.server_change_id = result.change_id

@@ -39,6 +39,8 @@ class NfsInode:
         #: Sticky async-write error (Linux semantics: a failed background
         #: write is reported at the *next* write/fsync/close on the file).
         self.pending_error: Optional[str] = None
+        #: optional passive observer (see repro.analysis.sanitize).
+        self.sanitizer = None
 
     def consume_error(self) -> Optional[str]:
         """Return and clear the sticky error, if any."""
@@ -71,29 +73,39 @@ class NfsInode:
         self.dirty.append(request)
         self.live_requests += 1
         self.total_requests_created += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_request_list_mutation(self, "note_created")
 
     def note_scheduled(self, request: NfsPageRequest, now: int) -> None:
         request.state = RequestState.SCHEDULED
         request.scheduled_at = now
         self.writes_in_flight += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_request_list_mutation(self, "note_scheduled")
 
     def note_unstable(self, request: NfsPageRequest) -> None:
         request.state = RequestState.UNSTABLE
         self.writes_in_flight -= 1
         self.unstable.append(request)
         self.unstable_bytes += request.nbytes
+        if self.sanitizer is not None:
+            self.sanitizer.on_request_list_mutation(self, "note_unstable")
 
     def note_write_done(self, request: NfsPageRequest, now: int) -> None:
         request.state = RequestState.DONE
         request.completed_at = now
         self.writes_in_flight -= 1
         self.live_requests -= 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_request_list_mutation(self, "note_write_done")
 
     def note_committed(self, request: NfsPageRequest, now: int) -> None:
         request.state = RequestState.DONE
         request.completed_at = now
         self.live_requests -= 1
         self.unstable_bytes -= request.nbytes
+        if self.sanitizer is not None:
+            self.sanitizer.on_request_list_mutation(self, "note_committed")
 
     def note_redirty(self, request: NfsPageRequest) -> None:
         """An UNSTABLE request whose COMMIT verf mismatched: the server
@@ -104,3 +116,5 @@ class NfsInode:
         request.verf = None
         self.unstable_bytes -= request.nbytes
         self.dirty.append(request)
+        if self.sanitizer is not None:
+            self.sanitizer.on_request_list_mutation(self, "note_redirty")

@@ -70,6 +70,10 @@ class HashTableIndex(RequestIndex):
         bucket[key] = request
         self._count += 1
         self._inodes_seen.add(request.fileid)
+        if self.sanitizer is not None:
+            self.sanitizer.on_index_mutation(
+                self, "insert", request.fileid, request.page_index
+            )
         return self.lookup_cost_ns
 
     def remove(self, request: NfsPageRequest) -> int:
@@ -79,6 +83,10 @@ class HashTableIndex(RequestIndex):
             raise SimulationError(f"removing unindexed request {key}")
         del bucket[key]
         self._count -= 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_index_mutation(
+                self, "remove", request.fileid, request.page_index
+            )
         return self.lookup_cost_ns
 
     def memory_overhead_bytes(self) -> int:

@@ -23,6 +23,9 @@ class RequestIndex:
     #: Human-readable name used in reports.
     kind = "abstract"
 
+    #: optional passive observer (see repro.analysis.sanitize).
+    sanitizer = None
+
     def peek(self, fileid: int, page_index: int) -> Optional[NfsPageRequest]:
         """Costless Python-level lookup (models the page-cache pointer,
         which locates the page without walking NFS lists)."""

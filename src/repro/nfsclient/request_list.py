@@ -142,6 +142,10 @@ class SortedListIndex(RequestIndex):
         lst.by_page[request.page_index] = request
         lst.ranks.add(request.page_index)
         self.nodes_walked += visited
+        if self.sanitizer is not None:
+            self.sanitizer.on_index_mutation(
+                self, "insert", request.fileid, request.page_index
+            )
         return visited * self.node_cost_ns
 
     def remove(self, request: NfsPageRequest) -> int:
@@ -152,6 +156,10 @@ class SortedListIndex(RequestIndex):
             )
         del lst.by_page[request.page_index]
         lst.ranks.discard(request.page_index)
+        if self.sanitizer is not None:
+            self.sanitizer.on_index_mutation(
+                self, "remove", request.fileid, request.page_index
+            )
         # Doubly-linked list unlink via the request pointer: O(1).
         return self.node_cost_ns
 

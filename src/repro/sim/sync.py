@@ -175,6 +175,8 @@ class MonitoredLock:
         self._hold_label = ""
         self._waiters: Deque[Tuple[_Acquisition, Task, int]] = deque()
         self.stats = LockStats()
+        #: optional passive observer (see repro.analysis.sanitize).
+        self.sanitizer = None
 
     @property
     def locked(self) -> bool:
@@ -188,16 +190,22 @@ class MonitoredLock:
         self.stats.acquisitions += 1
         if self.owner is task:
             self.depth += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_reenter(self, task)
             return
             yield  # pragma: no cover - makes this a generator
         if self.owner is None:
             self._take(task, label)
+            if self.sanitizer is not None:
+                self.sanitizer.on_acquire(self, task, label)
             return
             yield  # pragma: no cover
         self.stats.contended += 1
         start = self._sim.now
         acq = _Acquisition()
         self._waiters.append((acq, task, start))
+        if self.sanitizer is not None:
+            self.sanitizer.on_block(self, task, label)
         yield acq
         # _handoff assigned ownership to us before resuming.
         wait = self._sim.now - start
@@ -215,14 +223,20 @@ class MonitoredLock:
             )
         if self.depth > 1:
             self.depth -= 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_exit(self, task)
             return
         self.stats.add_hold(self._hold_label, self._sim.now - self._held_since)
         self.depth = 0
         self.owner = None
+        if self.sanitizer is not None:
+            self.sanitizer.on_release(self, task)
         if self._waiters:
             acq, waiter_task, _start = self._waiters.popleft()
             self.owner = waiter_task
             self.depth = 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_handoff(self, waiter_task)
             acq.grant()
 
     def hold(self, label: str, body):
@@ -286,11 +300,15 @@ class WaitQueue:
         self._waiters: Deque[Event] = deque()
         self.total_sleeps = 0
         self.total_sleep_ns = 0
+        #: optional passive observer (see repro.analysis.sanitize).
+        self.sanitizer = None
 
     def sleep(self):
         """Generator: block until the next wake_one/wake_all."""
         event = Event(self._sim)
         self._waiters.append(event)
+        if self.sanitizer is not None:
+            self.sanitizer.on_sleep(self, event)
         self.total_sleeps += 1
         start = self._sim.now
         yield event
@@ -303,11 +321,16 @@ class WaitQueue:
 
     def wake_one(self) -> None:
         if self._waiters:
-            self._waiters.popleft().trigger()
+            event = self._waiters.popleft()
+            if self.sanitizer is not None:
+                self.sanitizer.on_wake(self, event)
+            event.trigger()
 
     def wake_all(self) -> None:
         waiters, self._waiters = self._waiters, deque()
         for event in waiters:
+            if self.sanitizer is not None:
+                self.sanitizer.on_wake(self, event)
             event.trigger()
 
     @property

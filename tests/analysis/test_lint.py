@@ -1,0 +1,288 @@
+"""Tests for the determinism linter (repro.analysis.sanitize.lint)."""
+
+import io
+import json
+
+from repro.analysis.sanitize.lint import (
+    RULES,
+    default_lint_root,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+from repro.experiments.cli import main as cli_main
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# -- DET101: unseeded global RNG ----------------------------------------------
+
+
+def test_det101_flags_global_random_calls():
+    src = "import random\nx = random.random()\ny = random.randint(1, 6)\n"
+    found = codes(lint_source(src))
+    assert found.count("DET101") == 2
+
+
+def test_det101_not_flagged_for_stream_methods():
+    # Calls on a named stream object are the sanctioned pattern.
+    src = "def f(stream):\n    return stream.random()\n"
+    assert "DET101" not in codes(lint_source(src))
+
+
+def test_det101_suppressed():
+    src = "import random\nx = random.random()  # noqa: DET101\n"
+    assert "DET101" not in codes(lint_source(src))
+
+
+# -- DET102: wall-clock reads -------------------------------------------------
+
+
+def test_det102_flags_time_time_and_datetime_now():
+    src = (
+        "import time\nimport datetime\n"
+        "a = time.time()\n"
+        "b = time.monotonic()\n"
+        "c = datetime.datetime.now()\n"
+    )
+    assert codes(lint_source(src)).count("DET102") == 3
+
+
+def test_det102_suppressed():
+    src = "import time\nstarted = time.time()  # noqa: DET102 wall clock\n"
+    assert "DET102" not in codes(lint_source(src))
+
+
+# -- DET103: iteration over unordered sets ------------------------------------
+
+
+def test_det103_flags_for_over_set_call():
+    src = "for item in set(items):\n    handle(item)\n"
+    assert "DET103" in codes(lint_source(src))
+
+
+def test_det103_flags_set_literal_comprehension():
+    src = "out = [f(x) for x in {1, 2, 3}]\n"
+    assert "DET103" in codes(lint_source(src))
+
+
+def test_det103_allows_sorted_sets():
+    src = "for item in sorted(set(items)):\n    handle(item)\n"
+    assert "DET103" not in codes(lint_source(src))
+
+
+def test_det103_allows_plain_dict_iteration():
+    # Dicts iterate in insertion order — deterministic, not flagged.
+    src = "for key in mapping:\n    handle(key)\n"
+    assert "DET103" not in codes(lint_source(src))
+
+
+def test_det103_suppressed():
+    src = "for item in set(items):  # noqa: DET103\n    handle(item)\n"
+    assert "DET103" not in codes(lint_source(src))
+
+
+# -- DET104: id() in orderings/hashes -----------------------------------------
+
+
+def test_det104_flags_id_in_sort_key():
+    src = "items.sort(key=lambda t: id(t))\n"
+    assert "DET104" in codes(lint_source(src))
+
+
+def test_det104_flags_id_in_hash():
+    src = "h = hash((id(node), 3))\n"
+    assert "DET104" in codes(lint_source(src))
+
+
+def test_det104_plain_id_call_not_flagged():
+    src = "label = id(task)\n"
+    assert "DET104" not in codes(lint_source(src))
+
+
+def test_det104_suppressed():
+    src = "items.sort(key=lambda t: id(t))  # noqa: DET104\n"
+    assert "DET104" not in codes(lint_source(src))
+
+
+# -- DET105: stray random import ----------------------------------------------
+
+
+def test_det105_flags_import_random():
+    assert "DET105" in codes(lint_source("import random\n"))
+    assert "DET105" in codes(lint_source("from random import Random\n"))
+
+
+def test_det105_suppressed():
+    src = "import random  # noqa: DET105 typing only\n"
+    assert "DET105" not in codes(lint_source(src))
+
+
+# -- MUT201: mutable defaults -------------------------------------------------
+
+
+def test_mut201_flags_mutable_defaults():
+    src = "def f(a, b=[], c={}, d=set()):\n    return a\n"
+    assert codes(lint_source(src)).count("MUT201") == 3
+
+
+def test_mut201_allows_immutable_defaults():
+    src = "def f(a=None, b=(), c=0, d='x'):\n    return a\n"
+    assert "MUT201" not in codes(lint_source(src))
+
+
+def test_mut201_suppressed():
+    src = "def f(a=[]):  # noqa: MUT201\n    return a\n"
+    assert "MUT201" not in codes(lint_source(src))
+
+
+# -- DEAD301: unreachable code ------------------------------------------------
+
+
+def test_dead301_flags_code_after_return():
+    src = "def f():\n    return 1\n    do_cleanup()\n"
+    found = lint_source(src)
+    assert "DEAD301" in codes(found)
+    message = next(f.message for f in found if f.code == "DEAD301")
+    assert "line 2" in message  # points at the terminating statement
+
+
+def test_dead301_flags_code_after_raise_in_loop():
+    src = "def f():\n    for x in items:\n        raise ValueError(x)\n        x += 1\n"
+    assert "DEAD301" in codes(lint_source(src))
+
+
+def test_dead301_allows_generator_marker_yield():
+    # The deliberate `return; yield` idiom that makes a function a
+    # generator (used throughout the lock layer) is exempt.
+    src = "def gen():\n    if fast_path:\n        return\n        yield\n    yield work\n"
+    assert "DEAD301" not in codes(lint_source(src))
+
+
+def test_dead301_flags_statements_after_generator_marker():
+    src = "def gen():\n    return\n    yield\n    cleanup()\n"
+    assert "DEAD301" in codes(lint_source(src))
+
+
+def test_dead301_suppressed():
+    src = "def f():\n    return 1\n    cleanup()  # noqa: DEAD301\n"
+    assert "DEAD301" not in codes(lint_source(src))
+
+
+# -- SUP401 / suppression mechanics -------------------------------------------
+
+
+def test_bare_noqa_silences_all_rules():
+    src = "import time\nt = time.time()  # noqa\n"
+    assert codes(lint_source(src)) == []
+
+
+def test_sup401_reports_stale_own_code_in_strict_only():
+    src = "x = 1  # noqa: DET101\n"
+    assert "SUP401" not in codes(lint_source(src))
+    assert "SUP401" in codes(lint_source(src, strict=True))
+
+
+def test_sup401_ignores_foreign_codes_and_bare_noqa():
+    src = "try:\n    pass\nexcept Exception:  # noqa: BLE001\n    pass\nx = 1  # noqa\n"
+    assert "SUP401" not in codes(lint_source(src, strict=True))
+
+
+# -- SYN001 -------------------------------------------------------------------
+
+
+def test_syn001_on_syntax_error():
+    found = lint_source("def broken(:\n")
+    assert codes(found) == ["SYN001"]
+
+
+# -- engine: select, paths, repo-wide -----------------------------------------
+
+
+def test_select_filters_codes():
+    src = "import time\nimport random\nt = time.time()\n"
+    found = lint_source(src, select=["DET102"])
+    assert codes(found) == ["DET102"]
+
+
+def test_every_rule_has_code_name_and_severity():
+    for code, rule in RULES.items():
+        assert rule.code == code
+        assert rule.name
+        assert rule.severity in ("error", "warning")
+
+
+def test_repo_is_lint_clean_in_strict_mode():
+    # The acceptance criterion: the shipped sources pass --strict.
+    findings = lint_paths([str(default_lint_root())], strict=True)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_lint_paths_on_file(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    found = lint_paths([str(bad)])
+    assert codes(found) == ["DET102"]
+
+
+# -- run_lint / CLI -----------------------------------------------------------
+
+
+def test_run_lint_exit_codes(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    warn_only = tmp_path / "warn.py"
+    warn_only.write_text("x = 1  # noqa: DET101\n")
+
+    assert run_lint([str(clean)], out=io.StringIO()) == 0
+    assert run_lint([str(dirty)], out=io.StringIO()) == 1
+    # Warnings fail only under --strict.
+    assert run_lint([str(warn_only)], out=io.StringIO()) == 0
+    assert run_lint([str(warn_only)], strict=True, out=io.StringIO()) == 1
+    # Unknown --select codes are a usage error.
+    assert run_lint([str(clean)], select="NOPE999", out=io.StringIO()) == 2
+
+
+def test_run_lint_text_output(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    out = io.StringIO()
+    run_lint([str(dirty)], out=out)
+    text = out.getvalue()
+    assert "dirty.py:2:" in text
+    assert "DET102" in text
+    assert "1 error(s)" in text
+
+
+def test_run_lint_json_output(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    out = io.StringIO()
+    run_lint([str(dirty)], fmt="json", out=out)
+    payload = json.loads(out.getvalue())
+    # Sorted by line: the stray import on line 1, the draw on line 2.
+    assert [f["code"] for f in payload] == ["DET105", "DET101"]
+    assert payload[1]["line"] == 2
+
+
+def test_cli_lint_subcommand(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert cli_main(["lint", str(dirty)]) == 1
+    assert "DET102" in capsys.readouterr().out
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert cli_main(["lint", str(clean), "--strict"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_lint_select_and_format(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nimport random\nt = time.time()\n")
+    assert cli_main(["lint", str(dirty), "--select", "DET105", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["code"] for f in payload] == ["DET105"]

@@ -1,0 +1,224 @@
+"""Tests for the race sanitizer and the end-of-run invariant audits."""
+
+from repro.analysis.sanitize import (
+    FifoSanitizer,
+    audit_accounting,
+    audit_stable_bytes,
+    sanitized,
+)
+from repro.bench.runner import TestBed
+from repro.nfsclient.request import NfsPageRequest
+from repro.sim import Simulator, WaitQueue
+from repro.units import MIB, seconds, us
+
+
+def sanitized_bed(**kwargs):
+    with sanitized() as session:
+        bed = TestBed(**kwargs)
+    return bed, session
+
+
+# -- race detector ------------------------------------------------------------
+
+
+def test_clean_run_has_no_race_findings():
+    with sanitized() as session:
+        bed = TestBed(target="netapp", client="stock")
+        bed.run_sequential_write(1 * MIB)
+    harness = session.harnesses[0]
+    assert harness.race.mutations_checked > 0
+    assert harness.race.findings == []
+
+
+def test_unlocked_request_list_mutation_is_reported():
+    bed, session = sanitized_bed(target="netapp", client="stock")
+    harness = session.harnesses[0]
+    inode = None
+
+    def culprit():
+        nonlocal inode
+        file = yield from bed.nfs.open_new("tampered")
+        inode = file.inode
+        # Mutate the BKL-protected request list without taking the BKL.
+        request = NfsPageRequest(
+            fileid=inode.fileid,
+            page_index=0,
+            offset_in_page=0,
+            nbytes=4096,
+            created_at=bed.sim.now,
+        )
+        inode.note_created(request)
+
+    task = bed.sim.spawn(culprit(), name="culprit")
+    bed.sim.run_until(lambda: task.done, limit=seconds(1))
+    races = [f for f in harness.race.findings if f.category == "race"]
+    assert len(races) == 1
+    message = races[0].message
+    assert "unlocked request-list mutation" in message
+    assert "note_created" in message
+    assert "task 'culprit'" in message
+    assert "'bkl' unheld" in message
+
+
+def test_locked_mutation_is_not_reported():
+    bed, session = sanitized_bed(target="netapp", client="stock")
+    harness = session.harnesses[0]
+
+    def disciplined():
+        file = yield from bed.nfs.open_new("proper")
+        request = NfsPageRequest(
+            fileid=file.inode.fileid,
+            page_index=0,
+            offset_in_page=0,
+            nbytes=4096,
+            created_at=bed.sim.now,
+        )
+
+        def mutate():
+            file.inode.note_created(request)
+            return
+            yield  # pragma: no cover - generator marker
+
+        yield from bed.nfs.bkl.hold("test_mutation", mutate())
+
+    task = bed.sim.spawn(disciplined(), name="disciplined")
+    bed.sim.run_until(lambda: task.done, limit=seconds(1))
+    assert harness.race.findings == []
+    assert harness.race.mutations_checked >= 1
+
+
+def test_unlocked_index_mutation_is_reported():
+    bed, session = sanitized_bed(target="netapp", client="stock")
+    harness = session.harnesses[0]
+
+    def culprit():
+        request = NfsPageRequest(
+            fileid=7, page_index=3, offset_in_page=0, nbytes=4096, created_at=0
+        )
+        bed.nfs.index.insert(request)
+        return
+        yield  # pragma: no cover - generator marker
+
+    task = bed.sim.spawn(culprit(), name="culprit")
+    bed.sim.run_until(lambda: task.done, limit=seconds(1))
+    races = [f for f in harness.race.findings if f.category == "race"]
+    assert len(races) == 1
+    assert "unlocked index insert" in races[0].message
+    assert "page 3 of file 7" in races[0].message
+
+
+# -- accounting audit ---------------------------------------------------------
+
+
+def test_audit_accounting_clean_after_run():
+    with sanitized() as session:
+        bed = TestBed(target="linux", client="stock")
+        bed.run_sequential_write(1 * MIB)
+    assert audit_accounting(bed.nfs) == []
+    assert session.findings() == []
+
+
+def test_audit_accounting_trips_on_tampered_counter():
+    bed, _session = sanitized_bed(target="netapp", client="stock")
+    bed.nfs.live_requests += 1  # claim a request the index has never seen
+    findings = audit_accounting(bed.nfs)
+    assert any("request count mismatch" in f.message for f in findings)
+
+
+def test_audit_accounting_trips_on_negative_inode_counter():
+    bed, _session = sanitized_bed(target="netapp", client="stock")
+
+    def body():
+        file = yield from bed.nfs.open_new("f")
+        file.inode.live_requests = -1
+
+    task = bed.sim.spawn(body())
+    bed.sim.run_until(lambda: task.done, limit=seconds(1))
+    findings = audit_accounting(bed.nfs)
+    assert any("negative counter" in f.message for f in findings)
+
+
+def test_audit_stable_bytes_trips_on_lost_data():
+    bed, _session = sanitized_bed(target="netapp", client="stock")
+    bed.run_sequential_write(1 * MIB)
+    assert audit_stable_bytes(bed.nfs, bed.server) == []
+    # Claim more acked-stable than the server ever persisted.
+    bed.nfs.stats.bytes_acked_stable += 1
+    findings = audit_stable_bytes(bed.nfs, bed.server)
+    assert len(findings) == 1
+    assert "acknowledged-stable data lost" in findings[0].message
+
+
+# -- FIFO waitqueue sanitizer -------------------------------------------------
+
+
+def test_fifo_sanitizer_clean_on_ordered_wakes():
+    sim = Simulator()
+    waitq = WaitQueue(sim, "q")
+    waitq.sanitizer = FifoSanitizer()
+
+    def sleeper():
+        yield from waitq.sleep()
+
+    def waker():
+        yield sim.timeout(us(10))
+        waitq.wake_one()
+        waitq.wake_all()
+
+    sim.spawn(sleeper())
+    sim.spawn(sleeper())
+    sim.spawn(sleeper())
+    sim.spawn(waker())
+    sim.run()
+    assert waitq.sanitizer.findings == []
+    assert waitq.sanitizer.wakes_checked == 3
+
+
+def test_fifo_sanitizer_reports_out_of_order_wake():
+    sim = Simulator()
+    waitq = WaitQueue(sim, "q")
+    sanitizer = FifoSanitizer()
+    waitq.sanitizer = sanitizer
+
+    def sleeper():
+        yield from waitq.sleep()
+
+    def rogue_waker():
+        yield sim.timeout(us(10))
+        # Bypass the queue discipline: wake the *newest* sleeper first.
+        event = waitq._waiters.pop()
+        sanitizer.on_wake(waitq, event)
+        event.trigger()
+        waitq.wake_all()
+
+    sim.spawn(sleeper())
+    sim.spawn(sleeper())
+    sim.spawn(rogue_waker())
+    sim.run()
+    violations = [f for f in sanitizer.findings if f.category == "waitq-fifo"]
+    assert len(violations) == 1
+    assert "FIFO order broken" in violations[0].message
+    assert "woke sleeper #1" in violations[0].message
+
+
+# -- session scoping ----------------------------------------------------------
+
+
+def test_no_sanitizers_outside_session():
+    bed = TestBed(target="netapp", client="stock")
+    assert bed.sanitizer is None
+    assert bed.nfs.bkl.sanitizer is None
+    assert bed.nfs.index.sanitizer is None
+
+
+def test_dynamically_opened_inodes_are_watched():
+    bed, session = sanitized_bed(target="netapp", client="stock")
+    harness = session.harnesses[0]
+
+    def body():
+        file = yield from bed.nfs.open_new("later")
+        assert file.inode.sanitizer is harness.race
+        assert file.inode.waitq.sanitizer is harness.fifo
+
+    task = bed.sim.spawn(body())
+    bed.sim.run_until(lambda: task.done, limit=seconds(1))

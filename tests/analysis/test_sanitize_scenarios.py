@@ -1,0 +1,56 @@
+"""Sanitized fault-scenario runs: clean, and perturbation-free."""
+
+import io
+
+from repro.experiments.cli import main as cli_main, run_fault_scenarios
+from repro.faults import run_scenario
+
+
+def test_sanitized_scenario_adds_passing_invariants():
+    outcome = run_scenario(
+        "jukebox", seed=1, verify_determinism=False, sanitize=True
+    )
+    names = [inv.name for inv in outcome.invariants]
+    assert "sanitize-locks" in names
+    assert "sanitize-races" in names
+    assert "sanitize-invariants" in names
+    assert outcome.passed
+
+
+def test_sanitizers_do_not_perturb_the_fingerprint():
+    # The sanitized first run must fingerprint identically to both the
+    # unsanitized replay (checked inside run_scenario) and a fully
+    # unsanitized run (checked here).
+    sanitized_outcome = run_scenario(
+        "lossy-burst", seed=1, verify_determinism=True, sanitize=True
+    )
+    plain_outcome = run_scenario(
+        "lossy-burst", seed=1, verify_determinism=False, sanitize=False
+    )
+    assert sanitized_outcome.passed
+    assert sanitized_outcome.fingerprint == plain_outcome.fingerprint
+
+
+def test_unsanitized_scenario_has_no_sanitize_rows():
+    outcome = run_scenario("jukebox", seed=1, verify_determinism=False)
+    assert not any(inv.name.startswith("sanitize-") for inv in outcome.invariants)
+
+
+def test_cli_faults_sanitize_flag():
+    out = io.StringIO()
+    ok = run_fault_scenarios(
+        ["jukebox"], seed=1, verify=False, sanitize=True, out=out
+    )
+    assert ok
+    text = out.getvalue()
+    assert "sanitize-locks" in text
+    assert "sanitize-races" in text
+    assert "sanitize-invariants" in text
+
+
+def test_cli_faults_sanitize_end_to_end(capsys):
+    assert (
+        cli_main(["faults", "--scenario", "jukebox", "--no-verify", "--sanitize"])
+        == 0
+    )
+    assert "sanitize-locks" in capsys.readouterr().out

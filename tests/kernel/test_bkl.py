@@ -1,5 +1,7 @@
 """Tests for the BKL and the send-path lock policies."""
 
+import gc
+
 from repro.kernel import (
     BigKernelLock,
     NoLockPolicy,
@@ -159,6 +161,69 @@ def test_stock_policy_blocks_writer_during_send():
     sim.spawn(writer())
     sim.run()
     assert progress[0] >= us(100)
+
+
+def test_reacquire_outside_task_context_returns_early():
+    """The generator-cleanup path: when a finally-clause drives
+    ``reacquire`` with no current task (GC of an abandoned simulation),
+    it must return without touching the lock."""
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+    assert sim.current_task is None
+    # Driving the generator to completion must neither raise nor lock.
+    steps = list(bkl.reacquire(2, "cleanup"))
+    assert steps == []
+    assert not bkl.locked
+    assert bkl.depth == 0
+
+
+def test_gc_of_abandoned_send_unlocked_simulation():
+    """Abandon a simulation while a wire_send is parked between
+    ``break_all`` and ``reacquire``; collecting the generators runs the
+    finally-clause outside task context and must not raise."""
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+    policy = SendUnlockedPolicy(bkl)
+    reached = []
+
+    def sender():
+        yield from bkl.acquire("writer")
+
+        def body():
+            reached.append("sending")
+            yield sim.timeout(us(100))  # never finishes: run stops below
+            reached.append("sent")
+
+        yield from policy.wire_send("send", body())
+        bkl.release()
+
+    sim.spawn(sender())
+    # Run only until the send is in flight (the BKL is dropped), then
+    # abandon everything — as a test harness dropping a wedged run does.
+    sim.run(until=us(10))
+    assert reached == ["sending"]
+    assert not bkl.locked  # break_all dropped it for the send
+    del sim, bkl, policy
+    gc.collect()  # GeneratorExit through wire_send's finally: no errors
+
+
+def test_gc_of_abandoned_simulation_with_held_lock():
+    """Same, but the task is parked *inside* a bkl.hold body: the
+    hold's finally must skip the release when current_task is None."""
+    sim = Simulator()
+    bkl = BigKernelLock(sim)
+
+    def holder():
+        def body():
+            yield sim.timeout(us(100))
+
+        yield from bkl.hold("holder", body())
+
+    sim.spawn(holder())
+    sim.run(until=us(10))
+    assert bkl.locked
+    del sim, bkl
+    gc.collect()
 
 
 def test_nolock_policy_passthrough():
