@@ -14,7 +14,30 @@ from typing import Mapping, Sequence
 
 from .latency import LatencyTrace
 
-__all__ = ["write_trace_csv", "write_curve_csv", "write_histogram_csv", "gnuplot_script"]
+__all__ = [
+    "write_trace_csv",
+    "write_curve_csv",
+    "write_histogram_csv",
+    "gnuplot_script",
+    "trace_summary",
+]
+
+
+def trace_summary(trace: LatencyTrace, label: str = "write()") -> str:
+    """One-line latency summary: count, mean, and p50/p90/p99.
+
+    Used by the CLI experiment output and the observability profile
+    exporter so every report quotes the same percentile definition
+    (nearest-rank, :meth:`LatencyTrace.percentiles_ns`).
+    """
+    if len(trace) == 0:
+        return f"{label}: no calls recorded"
+    pcts = trace.percentiles_ns((50, 90, 99))
+    return (
+        f"{label}: n={len(trace)} mean={trace.mean_ns() / 1e3:.1f}us "
+        f"p50={pcts[50] / 1e3:.1f}us p90={pcts[90] / 1e3:.1f}us "
+        f"p99={pcts[99] / 1e3:.1f}us max={trace.max_ns() / 1e6:.3f}ms"
+    )
 
 
 def write_trace_csv(path: str, trace: LatencyTrace) -> None:

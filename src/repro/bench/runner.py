@@ -59,6 +59,7 @@ class TestBed:
         linux_config: Optional[LinuxServerConfig] = None,
         local_config: Optional[LocalFsConfig] = None,
         profile: bool = False,
+        observe: bool = False,
     ):
         if target not in SERVER_KINDS:
             raise ConfigError(
@@ -137,6 +138,12 @@ class TestBed:
         from ..analysis.sanitize.runtime import attach_if_active
 
         self.sanitizer = attach_if_active(self)
+
+        # Observability attaches the same way: a passive metrics+span
+        # recorder, enabled explicitly or by an `observed()` session.
+        from ..obs.core import attach_if_active as obs_attach_if_active
+
+        self.obs = obs_attach_if_active(self, observe=observe)
 
     # -- convenience ---------------------------------------------------------
 

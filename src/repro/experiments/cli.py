@@ -10,6 +10,9 @@ Examples::
     repro-nfs faults --list
     repro-nfs faults --scenario lossy-burst --seed 1
     repro-nfs faults --sanitize
+    repro-nfs trace fig1                 # Chrome trace + metrics bundle
+    repro-nfs trace lossy-burst --out obs-lossy
+    repro-nfs metrics fig1               # prometheus text to stdout
     repro-nfs lint --strict
     repro-nfs lint src/repro/sim --select DET101,DEAD301
 """
@@ -64,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="export each experiment's report/data/CSVs into this directory",
     )
     run.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="additionally run each experiment's observed trace point and "
+        "write its trace/metrics/profile bundle under DIR/<id>",
+    )
+    run.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -111,6 +121,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the runtime sanitizers (lock order, races, "
         "invariants) and audit their findings as extra invariants",
     )
+    faults.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="re-run each scenario observed and write its trace/metrics/"
+        "profile bundle under DIR/<scenario>",
+    )
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment trace-point or fault scenario observed "
+        "and export a Chrome-trace/metrics/profile bundle",
+    )
+    trace.add_argument(
+        "name",
+        help="experiment id (fig1..fig7, tab1) or fault scenario name",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="bundle directory (default: obs-<name>)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=1, help="fault RNG seed (default 1)"
+    )
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one observed trace-point and print its metrics registry "
+        "as prometheus-style text",
+    )
+    metrics.add_argument(
+        "name",
+        help="experiment id (fig1..fig7, tab1) or fault scenario name",
+    )
+    metrics.add_argument(
+        "--seed", type=int, default=1, help="fault RNG seed (default 1)"
+    )
     lint = sub.add_parser(
         "lint",
         help="run the determinism linter over the simulator sources",
@@ -148,6 +195,7 @@ def run_experiments(
     quick: bool,
     out=None,
     dump_dir: Optional[str] = None,
+    obs_dir: Optional[str] = None,
     context: Optional["ExecutionContext"] = None,
 ) -> bool:
     from .base import ExecutionContext
@@ -170,8 +218,71 @@ def run_experiments(
 
             for path in export_result(result, dump_dir):
                 out.write(f"  wrote {path}\n")
+        if obs_dir:
+            import os
+
+            from ..obs.bundle import TRACE_POINTS
+
+            if experiment_id in TRACE_POINTS:
+                run_trace_bundle(
+                    experiment_id, os.path.join(obs_dir, experiment_id), out=out
+                )
         all_passed = all_passed and result.passed
     return all_passed
+
+
+def run_trace_bundle(
+    name: str, out_dir: Optional[str] = None, seed: int = 1, out=None
+) -> int:
+    """``repro-nfs trace``: one observed run, one bundle on disk."""
+    import os
+
+    from ..bench.report import trace_summary
+    from ..obs.bundle import run_traced, write_bundle
+
+    if out is None:
+        out = sys.stdout
+    out_dir = out_dir or f"obs-{name}"
+    observabilities, result, outcome = run_traced(name, seed=seed)
+    if not observabilities:
+        out.write(f"{name}: nothing observed\n")
+        return 1
+    multi = len(observabilities) > 1
+    for i, obs in enumerate(observabilities):
+        paths = write_bundle(
+            obs, out_dir, name, index=i if multi else None
+        )
+        for path in paths:
+            out.write(f"wrote {path}\n")
+    if result is not None:
+        out.write(trace_summary(result.trace) + "\n")
+    if outcome is not None:
+        verdict = "PASS" if outcome.passed else "FAIL"
+        out.write(
+            f"{verdict} {name} (fingerprint={outcome.fingerprint[:12]})\n"
+        )
+        return 0 if outcome.passed else 1
+    out.write(
+        f"load {os.path.join(out_dir, 'trace.json')} in "
+        "https://ui.perfetto.dev or chrome://tracing\n"
+    )
+    return 0
+
+
+def print_metrics(name: str, seed: int = 1, out=None) -> int:
+    """``repro-nfs metrics``: prometheus-style text on stdout."""
+    from ..obs.export import prometheus_text
+    from ..obs.bundle import run_traced
+
+    if out is None:
+        out = sys.stdout
+    observabilities, _, _ = run_traced(name, seed=seed)
+    if not observabilities:
+        out.write(f"{name}: nothing observed\n")
+        return 1
+    for obs in observabilities:
+        out.write(prometheus_text(obs.metrics))
+    return 0
 
 
 def run_fault_scenarios(
@@ -179,6 +290,7 @@ def run_fault_scenarios(
     seed: int,
     verify: bool = True,
     sanitize: bool = False,
+    obs_dir: Optional[str] = None,
     out=None,
 ) -> bool:
     from ..faults import SCENARIOS, run_scenario
@@ -191,9 +303,27 @@ def run_fault_scenarios(
         # Wall-clock reporting only, as above.
         started = time.time()  # noqa: DET102
         outcome = run_scenario(
-            name, seed=seed, verify_determinism=verify, sanitize=sanitize
+            name,
+            seed=seed,
+            verify_determinism=verify,
+            sanitize=sanitize,
+            observe=obs_dir is not None,
         )
         elapsed = time.time() - started  # noqa: DET102
+        if obs_dir is not None and outcome.observabilities:
+            import os
+
+            from ..obs.bundle import write_bundle
+
+            multi = len(outcome.observabilities) > 1
+            for i, obs in enumerate(outcome.observabilities):
+                for path in write_bundle(
+                    obs,
+                    os.path.join(obs_dir, name),
+                    name,
+                    index=i if multi else None,
+                ):
+                    out.write(f"  wrote {path}\n")
         verdict = "PASS" if outcome.passed else "FAIL"
         out.write(
             f"{verdict} {name} (seed={seed}, "
@@ -232,8 +362,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             verify=not args.no_verify,
             sanitize=args.sanitize,
+            obs_dir=args.obs_dir,
         )
         return 0 if ok else 1
+    if args.command == "trace":
+        return run_trace_bundle(args.name, out_dir=args.out, seed=args.seed)
+    if args.command == "metrics":
+        return print_metrics(args.name, seed=args.seed)
     if args.command == "lint":
         from ..analysis.sanitize.lint import run_lint
 
@@ -258,7 +393,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     ok = run_experiments(
         ids, scale=scale, quick=args.quick, dump_dir=args.dump_dir,
-        context=context,
+        obs_dir=args.obs_dir, context=context,
     )
     return 0 if ok else 1
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -49,6 +50,8 @@ class ScenarioOutcome:
     payload: Dict[str, object]
     invariants: List[Invariant] = field(default_factory=list)
     fingerprint: str = ""
+    #: Observers of the beds the first run built (``observe=True`` only).
+    observabilities: Optional[List] = None
 
     @property
     def passed(self) -> bool:
@@ -441,6 +444,7 @@ def run_scenario(
     seed: int = 1,
     verify_determinism: bool = True,
     sanitize: bool = False,
+    observe: bool = False,
 ) -> ScenarioOutcome:
     """Run one named scenario and audit its invariants.
 
@@ -450,23 +454,30 @@ def run_scenario(
 
     With ``sanitize`` the first run executes under the runtime sanitizers
     (:mod:`repro.analysis.sanitize`), adding three invariant rows for
-    lock discipline, races, and structural invariants.  Only the first
-    run is sanitized; the replay is not, so a matching fingerprint also
-    proves the sanitizers did not perturb the simulation.
+    lock discipline, races, and structural invariants.  With ``observe``
+    it runs under an :func:`repro.obs.core.observed` session, collecting
+    metrics and causal spans into ``outcome.observabilities``.  Only the
+    first run is instrumented; the replay is not, so a matching
+    fingerprint also proves neither observer perturbed the simulation.
     """
     scenario = SCENARIOS.get(name)
     if scenario is None:
         raise ConfigError(
             f"unknown scenario {name!r} (expected one of {sorted(SCENARIOS)})"
         )
-    if sanitize:
-        from ..analysis.sanitize import sanitized
+    obs_session = None
+    with ExitStack() as stack:
+        if sanitize:
+            from ..analysis.sanitize import sanitized
 
-        with sanitized() as session:
-            payload, invariants = scenario.run(seed)
-        invariants.extend(_sanitizer_invariants(session))
-    else:
+            san_session = stack.enter_context(sanitized())
+        if observe:
+            from ..obs.core import observed
+
+            obs_session = stack.enter_context(observed())
         payload, invariants = scenario.run(seed)
+    if sanitize:
+        invariants.extend(_sanitizer_invariants(san_session))
     fingerprint = _fingerprint(payload)
     if verify_determinism:
         replay, _ = scenario.run(seed)
@@ -484,4 +495,7 @@ def run_scenario(
         payload=payload,
         invariants=invariants,
         fingerprint=fingerprint,
+        observabilities=(
+            obs_session.observabilities if obs_session is not None else None
+        ),
     )

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, List
 
 from ..errors import ResourceError
+from ..obs.core import DISABLED
 from ..sim import Simulator, WaitQueue
 
 __all__ = ["PageCache"]
@@ -45,6 +46,8 @@ class PageCache:
         self.throttled_ns = 0
         self._waitq = WaitQueue(sim, f"{name}-throttle")
         self._pressure_listeners: List[Callable[[], None]] = []
+        #: Observability sink (repro.obs); passive, defaults disabled.
+        self.obs = DISABLED
 
     def on_pressure(self, listener: Callable[[], None]) -> None:
         """Register a write-back daemon kick."""
@@ -80,6 +83,14 @@ class PageCache:
         self.dirty_bytes += nbytes
         if self.dirty_bytes > self.peak_dirty:
             self.peak_dirty = self.dirty_bytes
+        obs = self.obs
+        if obs.enabled:
+            obs.count("pagecache/bytes_charged", nbytes)
+            obs.gauge("pagecache/dirty_bytes", self.dirty_bytes)
+            obs.sample("pagecache", "dirty_bytes", self.dirty_bytes)
+            if throttle_start is not None:
+                obs.count("pagecache/throttle_events")
+                obs.count("pagecache/throttle_ns", self._sim.now - throttle_start)
         if self.over_background:
             self._notify_pressure()
 
@@ -90,6 +101,11 @@ class PageCache:
                 f"{self.name}: bad uncharge {nbytes} (dirty={self.dirty_bytes})"
             )
         self.dirty_bytes -= nbytes
+        obs = self.obs
+        if obs.enabled:
+            obs.count("pagecache/bytes_uncharged", nbytes)
+            obs.gauge("pagecache/dirty_bytes", self.dirty_bytes)
+            obs.sample("pagecache", "dirty_bytes", self.dirty_bytes)
         self._waitq.wake_all()
 
     @property

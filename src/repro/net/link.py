@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import ConfigError
+from ..obs.core import DISABLED
 from ..sim import Simulator
 from ..units import transfer_time
 
@@ -50,6 +51,17 @@ class Link:
         self.fault: Optional[Any] = None
         self.frames_dropped = 0
         self.frames_duplicated = 0
+        self.obs = DISABLED
+
+    @staticmethod
+    def _payload_span(args) -> int:
+        """Span id carried by the frame's RPC payload, if any."""
+        if args:
+            frag = args[0]
+            dgram = getattr(frag, "dgram", None)
+            if dgram is not None:
+                return getattr(dgram.payload, "span_id", 0)
+        return 0
 
     def send(self, wire_bytes: int, deliver: Callable[..., None], *args: Any) -> int:
         """Queue a frame; ``deliver(*args)`` fires on arrival.
@@ -64,18 +76,53 @@ class Link:
         arrival = done_sending + self.latency_ns
         self.frames_sent += 1
         self.bytes_sent += wire_bytes
+        obs = self.obs
+        if obs.enabled:
+            obs.count("net/frames_sent")
+            obs.count("net/bytes_sent", wire_bytes)
         if self.fault is not None:
             deliveries = self.fault.on_frame(wire_bytes)
             if not deliveries:
                 self.frames_dropped += 1
+                if obs.enabled:
+                    obs.count(
+                        f"net/frames_dropped/{type(self.fault).__name__}"
+                    )
+                    sid = obs.span_begin(
+                        "net",
+                        "frame_dropped",
+                        parent=self._payload_span(args),
+                        ts=start,
+                        bytes=wire_bytes,
+                        link=self.name,
+                    )
+                    obs.span_end(sid, ts=arrival)
                 return arrival
             if len(deliveries) > 1:
                 self.frames_duplicated += len(deliveries) - 1
+                if obs.enabled:
+                    obs.count("net/frames_duplicated", len(deliveries) - 1)
             for extra_delay in deliveries:
                 self._sim.call_at(arrival + extra_delay, deliver, *args)
+            self._record_frame(start, arrival, wire_bytes, args)
             return arrival
         self._sim.call_at(arrival, deliver, *args)
+        self._record_frame(start, arrival, wire_bytes, args)
         return arrival
+
+    def _record_frame(self, start: int, arrival: int, wire_bytes: int, args) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            return
+        sid = obs.span_begin(
+            "net",
+            "frame",
+            parent=self._payload_span(args),
+            ts=start,
+            bytes=wire_bytes,
+            link=self.name,
+        )
+        obs.span_end(sid, ts=arrival)
 
     def queue_delay_ns(self) -> int:
         """Backlog currently ahead of a new frame."""

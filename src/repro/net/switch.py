@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..config import NetConfig
 from ..errors import ConfigError
+from ..obs.core import DISABLED
 from ..sim import RngStreams, Simulator
 from .ip import fragment_sizes
 from .link import Link
@@ -87,6 +88,7 @@ class Switch:
         self._dgram_seq = 0
         self._rng = RngStreams(seed).stream(f"{name}-loss")
         self.fragments_dropped = 0
+        self.obs = DISABLED
 
     def attach(self, host_name: str, net: NetConfig) -> Port:
         if host_name in self._ports:
@@ -100,6 +102,10 @@ class Switch:
             return self._ports[host_name]
         except KeyError:
             raise ConfigError(f"{self.name}: unknown host {host_name!r}") from None
+
+    def ports(self):
+        """All attached ports, in deterministic (sorted-name) order."""
+        return [self._ports[name] for name in sorted(self._ports)]
 
     def install_fault(self, host_name: str, uplink=None, downlink=None) -> Port:
         """Attach per-direction link faults to a host's port.
@@ -123,6 +129,8 @@ class Switch:
         loss = dst.net.loss_probability
         if loss > 0.0 and self._rng.random() < loss:
             self.fragments_dropped += 1
+            if self.obs.enabled:
+                self.obs.count("net/frames_dropped/switch-loss")
             return
         dst.downlink.send(frag.wire_bytes, dst._arrive, frag)
 

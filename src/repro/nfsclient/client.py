@@ -33,10 +33,11 @@ from ..nfs3 import (
     read_call_size,
     write_call_size,
 )
+from ..obs.core import DISABLED
 from ..rpc import RpcCall, UdpTransport
 from ..sim import PRIO_KERNEL, Event, WaitQueue
 from ..units import PAGE_SIZE
-from .coalesce import group_extent
+from .coalesce import group_extent, observe_group
 from .file import NfsFile
 from .flush import LazyFlushPolicy, StockFlushPolicy
 from .flushd import NfsFlushd
@@ -169,6 +170,8 @@ class NfsClient:
         #: optional sanitizer harness; when set, new inodes are watched
         #: (see repro.analysis.sanitize.runtime).
         self.sanitizer = None
+        #: Observability sink (repro.obs); passive, defaults disabled.
+        self.obs = DISABLED
 
     # -- namespace ---------------------------------------------------------
 
@@ -278,6 +281,17 @@ class NfsClient:
         )
         self.stats.writes_sent += 1
         self.stats.bytes_sent += count
+        obs = self.obs
+        if obs.enabled:
+            # Parent the RPC on the span that dirtied the group's first
+            # page; flush daemons run outside any syscall, so a missing
+            # page span falls back to the current task's root span.
+            parent = group[0].span_id or obs.task_span()
+            observe_group(obs, group, parent=parent)
+            call.span_id = obs.span_begin(
+                "rpc", "WRITE", parent=parent, xid=call.xid,
+                bytes=count, pages=len(group), stable=stable.name,
+            )
 
         def on_complete(reply):
             return self._write_done(inode, group, reply)
@@ -439,6 +453,13 @@ class NfsClient:
             size=commit_call_size(),
         )
         self.stats.commits_sent += 1
+        obs = self.obs
+        if obs.enabled:
+            call.span_id = obs.span_begin(
+                "rpc", "COMMIT",
+                parent=snapshot[0].span_id or obs.task_span(),
+                xid=call.xid, pages=len(snapshot),
+            )
 
         def on_complete(reply):
             return self._commit_done(inode, snapshot, reply)
@@ -500,7 +521,12 @@ class NfsClient:
 
     # -- flush (fsync/close/threshold) ------------------------------------------
 
-    def flush_writes(self, inode: NfsInode, stable: Optional[Stable] = None):
+    def flush_writes(
+        self,
+        inode: NfsInode,
+        stable: Optional[Stable] = None,
+        reason: str = "explicit",
+    ):
         """Generator: schedule all dirty requests, wait for WRITE replies.
 
         The MAX_REQUEST_SOFT path (§3.3): the writer "schedules all
@@ -511,7 +537,8 @@ class NfsClient:
         """
         if inode.dirty:
             yield from self.bkl.hold(
-                "nfs_flush", self.writepath.schedule_all(inode, stable=stable)
+                "nfs_flush",
+                self.writepath.schedule_all(inode, stable=stable, reason=reason),
             )
         yield from inode.waitq.wait_until(
             lambda: not inode.has_unfinished_writes()
@@ -528,7 +555,8 @@ class NfsClient:
         while True:
             if inode.dirty:
                 yield from self.bkl.hold(
-                    "nfs_flush", self.writepath.schedule_all(inode)
+                    "nfs_flush",
+                    self.writepath.schedule_all(inode, reason="fsync-close"),
                 )
             if inode.has_unfinished_writes():
                 yield from inode.waitq.wait_until(

@@ -14,7 +14,10 @@ from typing import List, Optional
 from .inode import NfsInode
 from .request import NfsPageRequest
 
-__all__ = ["take_group", "contiguous_run_length", "group_extent"]
+__all__ = ["take_group", "contiguous_run_length", "group_extent", "observe_group"]
+
+#: Histogram bounds for coalesced-group sizes (pages per RPC).
+GROUP_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32)
 
 
 def contiguous_run_length(inode: NfsInode, max_requests: int) -> int:
@@ -53,3 +56,21 @@ def group_extent(group: List[NfsPageRequest]) -> tuple:
     offset = group[0].file_offset
     count = sum(req.nbytes for req in group)
     return offset, count
+
+
+def observe_group(obs, group: List[NfsPageRequest], parent: int = 0) -> int:
+    """Record one coalesced group with the observability layer.
+
+    Emits the ``coalesce/group_pages`` size histogram and an instant
+    ``coalesce`` span under ``parent`` so the causal tree shows where
+    each RPC-worth of pages was assembled.  Returns the span id.
+    """
+    if not obs.enabled:
+        return 0
+    _, count = group_extent(group)
+    obs.observe("coalesce/group_pages", len(group), GROUP_SIZE_BUCKETS)
+    obs.count("coalesce/groups")
+    obs.count("coalesce/bytes", count)
+    return obs.span_point(
+        "nfs", "coalesce", parent=parent, pages=len(group), bytes=count
+    )

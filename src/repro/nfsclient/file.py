@@ -50,7 +50,9 @@ class NfsFile(VfsFile):
         if self.sync:
             from ..nfs3 import Stable
 
-            yield from self.client.flush_writes(self.inode, stable=Stable.FILE_SYNC)
+            yield from self.client.flush_writes(
+                self.inode, stable=Stable.FILE_SYNC, reason="osync"
+            )
             self._raise_pending_error()
 
     # -- reads ---------------------------------------------------------------

@@ -41,12 +41,16 @@ class StockFlushPolicy(FlushPolicy):
         client = self.client
         if inode.writeback_requests > self.soft:
             client.stats.soft_flushes += 1
-            yield from client.flush_writes(inode)
+            if client.obs.enabled:
+                client.obs.count("flush/soft_triggers")
+            yield from client.flush_writes(inode, reason="soft-threshold")
         slept = False
         while client.writeback_count > self.hard:
             if not slept:
                 client.stats.hard_sleeps += 1
                 slept = True
+                if client.obs.enabled:
+                    client.obs.count("flush/hard_sleeps")
             yield from client.hard_waitq.sleep()
 
 

@@ -63,20 +63,26 @@ class NfsFlushd:
                 timer.cancel()
             self._kick_pending = False
             self.wakeups += 1
+            if client.obs.enabled:
+                client.obs.count("flushd/wakeups")
             yield from self._flush_pass()
 
     def _flush_pass(self):
         client = self.client
         pressure = client.pagecache.over_background
+        reason = "flushd-pressure" if pressure else "flushd-age"
         for inode in client.inodes():
             if inode.dirty and (pressure or self._has_aged_dirty(inode)):
                 yield from client.bkl.hold(
-                    "nfs_flushd", client.writepath.schedule_all(inode)
+                    "nfs_flushd",
+                    client.writepath.schedule_all(inode, reason=reason),
                 )
             if pressure and inode.unstable_bytes > 0 and not inode.commit_in_flight:
                 # Commit so the reply can release pinned pages; do not
                 # wait here — the daemon must keep servicing other work.
                 self.commits_started += 1
+                if client.obs.enabled:
+                    client.obs.count("flushd/commits_started")
                 yield from client.commit_inode(inode, wait=False)
 
     def _has_aged_dirty(self, inode) -> bool:

@@ -42,6 +42,7 @@ class NfsPageRequest:
         "scheduled_at",
         "completed_at",
         "verf",
+        "span_id",
     )
 
     def __init__(
@@ -68,6 +69,9 @@ class NfsPageRequest:
         #: COMMIT verf — a mismatch means the server rebooted in between
         #: and this page must be written again.
         self.verf: Optional[int] = None
+        #: Causal span of the page-dirtying write (repro.obs); 0 when
+        #: tracing is off.  Pure annotation — never drives behaviour.
+        self.span_id = 0
 
     @property
     def live(self) -> bool:

@@ -41,9 +41,15 @@ class WritePath:
     ):
         """Generator: absorb one dirtied page segment."""
         client = self.client
+        obs = client.obs
+        page_span = 0
+        if obs.enabled:
+            page_span = obs.span_begin(
+                "nfs", "page_dirty", parent=obs.task_span(), page=page_index
+            )
         while True:
             outcome = yield from self._try_updatepage(
-                inode, page_index, offset_in_page, nbytes
+                inode, page_index, offset_in_page, nbytes, page_span
             )
             if outcome == "done":
                 break
@@ -54,10 +60,14 @@ class WritePath:
             # nfs_wb_page path.  Passive waiting would deadlock on an
             # UNSTABLE request that nothing else ever commits.
             client.stats.page_waits += 1
+            if obs.enabled:
+                obs.count("nfs/page_waits")
             yield from self._force_request_done(inode, outcome)
+        if obs.enabled:
+            obs.span_end(page_span)
         yield from client.flush_policy.after_page(inode)
 
-    def _try_updatepage(self, inode, page_index, offset_in_page, nbytes):
+    def _try_updatepage(self, inode, page_index, offset_in_page, nbytes, page_span=0):
         client = self.client
         cpus = client.host.cpus
         costs = client.host.costs
@@ -107,6 +117,7 @@ class WritePath:
                     nbytes,
                     created_at=client.sim.now,
                 )
+                request.span_id = page_span
                 insert_cost = index.insert(request)
                 yield from cpus.execute(
                     insert_cost, label="nfs_request_insert", priority=PRIO_USER
@@ -114,9 +125,13 @@ class WritePath:
                 inode.note_created(request)
                 client.live_requests += 1
                 client.writeback_count += 1
+                if client.obs.enabled:
+                    client.obs.count("nfs/requests_created")
             else:
                 found.extend(offset_in_page, nbytes)
                 client.stats.coalesced_updates += 1
+                if client.obs.enabled:
+                    client.obs.count("nfs/requests_extended")
 
             # nfs_strategy: fire full wsize groups.
             yield from self.nfs_strategy(inode)
@@ -130,7 +145,7 @@ class WritePath:
         while req.state is not RequestState.DONE:
             if req.state is RequestState.DIRTY:
                 yield from client.bkl.hold(
-                    "nfs_sync_page", self.schedule_all(inode)
+                    "nfs_sync_page", self.schedule_all(inode, reason="sync-page")
                 )
             elif req.state is RequestState.UNSTABLE:
                 yield from client.commit_inode(inode, wait=True)
@@ -149,13 +164,25 @@ class WritePath:
             group = take_group(inode, pages_per_rpc, force=False)
             if group is None:
                 return
+            if client.obs.enabled:
+                client.obs.count("flush/pages/wsize", len(group))
+                client.obs.count("flush/rpcs/wsize")
             yield from client.submit_write(inode, group)
 
-    def schedule_all(self, inode: "NfsInode", stable=None):
-        """Generator: force every dirty request out, partial tails too."""
+    def schedule_all(self, inode: "NfsInode", stable=None, reason: str = "explicit"):
+        """Generator: force every dirty request out, partial tails too.
+
+        ``reason`` tags the flush trigger for the metrics registry
+        (``flush/pages/<reason>``): soft-threshold, fsync-close,
+        flushd-age, flushd-pressure, sync-page, or explicit.
+        """
         client = self.client
+        obs = client.obs
         while True:
             group = take_group(inode, client.pages_per_rpc, force=True)
             if group is None:
                 return
+            if obs.enabled:
+                obs.count(f"flush/pages/{reason}", len(group))
+                obs.count(f"flush/rpcs/{reason}")
             yield from client.submit_write(inode, group, stable=stable)

@@ -1,0 +1,49 @@
+"""Unified observability: metrics registry + causal span tracing.
+
+See :mod:`repro.obs.core` for the span model and attach machinery,
+:mod:`repro.obs.export` for the Chrome-trace / prometheus / flat-profile
+exporters, and :mod:`repro.obs.bundle` for per-run bundles and the
+``repro-nfs trace`` trace points.  ``docs/observability.md`` has the
+full metric catalogue.
+"""
+
+from .core import (
+    DISABLED,
+    Observability,
+    ObsSession,
+    active_session,
+    attach,
+    attach_if_active,
+    observed,
+)
+from .export import (
+    build_spans,
+    chrome_trace,
+    flat_profile,
+    prometheus_text,
+    span_children,
+    span_descendants,
+    validate_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "DISABLED",
+    "Observability",
+    "ObsSession",
+    "active_session",
+    "attach",
+    "attach_if_active",
+    "observed",
+    "build_spans",
+    "chrome_trace",
+    "flat_profile",
+    "prometheus_text",
+    "span_children",
+    "span_descendants",
+    "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

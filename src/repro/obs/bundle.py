@@ -1,0 +1,118 @@
+"""Per-run observability bundles.
+
+A *bundle* is the on-disk artefact ``repro-nfs trace`` and the
+``--obs-dir`` options produce: one directory holding
+
+* ``trace.json`` — Chrome trace-event JSON (Perfetto-loadable),
+* ``metrics.prom`` — prometheus-style text dump,
+* ``profile.txt`` — readprofile-style flat profile.
+
+Each experiment id maps to a small single-bed *trace point* — a
+representative configuration observed end to end.  Figure sweeps run
+dozens of beds (some in worker processes where an observer could not
+follow); the trace point reruns one characteristic bed inline with
+tracing on, which is what a causal write-path trace is for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..units import MIB
+from .core import Observability, observed
+from .export import chrome_trace, flat_profile, prometheus_text, validate_chrome_trace
+
+__all__ = ["TRACE_POINTS", "run_traced", "write_bundle", "trace_names"]
+
+#: Experiment id -> (TestBed kwargs, file_bytes) for the observed run.
+TRACE_POINTS: Dict[str, Tuple[Dict[str, object], int]] = {
+    "fig1": ({"target": "linux", "client": "stock"}, 4 * MIB),
+    "fig2": ({"target": "netapp", "client": "stock"}, 8 * MIB),
+    "fig3": ({"target": "netapp", "client": "noflush"}, 8 * MIB),
+    "fig4": ({"target": "netapp", "client": "hashtable"}, 8 * MIB),
+    "fig5": ({"target": "netapp", "client": "stock"}, 8 * MIB),
+    "fig6": ({"target": "netapp", "client": "nolock"}, 8 * MIB),
+    "tab1": ({"target": "linux", "client": "stock"}, 4 * MIB),
+    "fig7": ({"target": "linux", "client": "enhanced"}, 4 * MIB),
+}
+
+
+def trace_names() -> List[str]:
+    """Everything ``repro-nfs trace`` accepts: experiments + scenarios."""
+    from ..faults import SCENARIOS
+
+    return sorted(TRACE_POINTS) + sorted(SCENARIOS)
+
+
+def run_traced(name: str, seed: int = 1):
+    """Run one observed trace-point or fault scenario.
+
+    Returns ``(observabilities, result, outcome)``: the per-bed
+    observers, the benchmark result for experiment trace points (else
+    None), and the scenario outcome for fault names (else None).
+    """
+    from ..faults import SCENARIOS, run_scenario
+
+    if name in TRACE_POINTS:
+        from ..bench.runner import TestBed
+
+        kwargs, file_bytes = TRACE_POINTS[name]
+        with observed() as session:
+            bed = TestBed(profile=True, **kwargs)
+            result = bed.run_sequential_write(file_bytes)
+        obs = session.observabilities[0]
+        if bed.nfs is not None:
+            obs.harvest_lock(bed.nfs.bkl)
+        obs.profiler = bed.profiler
+        obs.latency_trace = result.trace
+        return session.observabilities, result, None
+    if name in SCENARIOS:
+        outcome = run_scenario(name, seed=seed, verify_determinism=True, observe=True)
+        return outcome.observabilities or [], None, outcome
+    from ..errors import ConfigError
+
+    raise ConfigError(
+        f"unknown trace target {name!r} (expected one of {', '.join(trace_names())})"
+    )
+
+
+def write_bundle(
+    obs: Observability,
+    out_dir: str,
+    name: str,
+    profiler=None,
+    trace=None,
+    index: Optional[int] = None,
+) -> List[str]:
+    """Write one observer's bundle into ``out_dir``; returns the paths.
+
+    Multi-bed runs (e.g. the monotone-loss scenario) pass ``index`` to
+    suffix the files per bed.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    suffix = "" if index is None else f"-{index}"
+    paths: List[str] = []
+
+    trace_obj = chrome_trace(obs, process_name=f"repro-nfs {name}")
+    validate_chrome_trace(trace_obj)
+    trace_path = os.path.join(out_dir, f"trace{suffix}.json")
+    with open(trace_path, "w") as f:
+        json.dump(trace_obj, f, indent=1, sort_keys=True)
+    paths.append(trace_path)
+
+    metrics_path = os.path.join(out_dir, f"metrics{suffix}.prom")
+    with open(metrics_path, "w") as f:
+        f.write(prometheus_text(obs.metrics))
+    paths.append(metrics_path)
+
+    if profiler is None:
+        profiler = obs.profiler
+    if trace is None:
+        trace = obs.latency_trace
+    profile_path = os.path.join(out_dir, f"profile{suffix}.txt")
+    with open(profile_path, "w") as f:
+        f.write(flat_profile(profiler, registry=obs.metrics, trace=trace))
+    paths.append(profile_path)
+    return paths

@@ -1,0 +1,250 @@
+"""The observability core: one passive observer per TestBed.
+
+An :class:`Observability` bundles a :class:`~repro.obs.metrics.
+MetricsRegistry` with a :class:`~repro.sim.trace.Tracer` used as the
+span sink.  Components hold a reference (``self.obs``) that defaults to
+the module-level :data:`DISABLED` singleton, so the disabled hot path
+costs one attribute load plus a boolean check.
+
+Spans form a causal tree: an id is minted at each ``write()``/
+``fsync()`` syscall and propagated page → request → RPC xid → frame →
+server op → reply → completion.  Span ids are a plain counter — fully
+deterministic — and recording never schedules events, draws randomness,
+or touches component state, so an instrumented run's fingerprint is
+bit-identical to an uninstrumented one (the obs test suite replays runs
+to prove it).
+
+Usage mirrors the sanitizers (:mod:`repro.analysis.sanitize.runtime`)::
+
+    with observed() as session:
+        bed = TestBed(target="netapp", client="stock")
+        bed.run_sequential_write(2 * MIB)
+    obs = session.observabilities[0]
+
+or explicitly: ``TestBed(..., observe=True)``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from ..sim.trace import Tracer
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Observability",
+    "DISABLED",
+    "ObsSession",
+    "observed",
+    "active_session",
+    "attach",
+    "attach_if_active",
+]
+
+#: Default span/sample ring capacity per observed bed.
+DEFAULT_CAPACITY = 1_000_000
+
+
+class Observability:
+    """Metrics + causal span tracing for one simulation."""
+
+    __slots__ = (
+        "sim",
+        "enabled",
+        "metrics",
+        "tracer",
+        "profiler",
+        "latency_trace",
+        "_next_span",
+        "_task_spans",
+    )
+
+    def __init__(self, sim=None, enabled: bool = False, capacity: int = DEFAULT_CAPACITY):
+        self.sim = sim
+        self.enabled = bool(enabled) and sim is not None
+        self.metrics = MetricsRegistry()
+        self.tracer: Optional[Tracer] = (
+            Tracer(sim, capacity=capacity, enabled=self.enabled)
+            if sim is not None
+            else None
+        )
+        #: Optional companions carried for bundle export (set by the
+        #: trace runner, not by the hot path).
+        self.profiler = None
+        self.latency_trace = None
+        self._next_span = 0
+        #: Root span of the syscall each task is currently executing,
+        #: keyed by the task object itself (never iterated, so object
+        #: keys stay deterministic).
+        self._task_spans: Dict[Any, int] = {}
+
+    # -- metrics ------------------------------------------------------------
+
+    def count(self, key: str, n: int = 1) -> None:
+        if self.enabled:
+            self.metrics.counter(key).inc(n)
+
+    def gauge(self, key: str, value) -> None:
+        if self.enabled:
+            self.metrics.gauge(key).set(value)
+
+    def observe(self, key: str, value, bounds=None) -> None:
+        if self.enabled:
+            self.metrics.histogram(key, bounds).observe(value)
+
+    # -- samples (time series; exported as Chrome counter events) -----------
+
+    def sample(self, component: str, name: str, value) -> None:
+        if self.enabled:
+            self.tracer.record(component, "sample", name=name, value=value)
+
+    # -- spans ---------------------------------------------------------------
+
+    def span_begin(
+        self,
+        component: str,
+        name: str,
+        parent: int = 0,
+        ts: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        """Mint a span id and record its opening edge; 0 when disabled."""
+        if not self.enabled:
+            return 0
+        self._next_span += 1
+        sid = self._next_span
+        self.tracer.record_at(
+            self.sim.now if ts is None else ts,
+            component,
+            "span_begin",
+            span=sid,
+            parent=parent,
+            name=name,
+            **attrs,
+        )
+        return sid
+
+    def span_end(self, span_id: int, ts: Optional[int] = None, **attrs: Any) -> None:
+        if not self.enabled or not span_id:
+            return
+        self.tracer.record_at(
+            self.sim.now if ts is None else ts, "", "span_end", span=span_id, **attrs
+        )
+
+    def span_point(
+        self, component: str, name: str, parent: int = 0, **attrs: Any
+    ) -> int:
+        """A zero-duration span: an instant in the causal tree."""
+        sid = self.span_begin(component, name, parent=parent, **attrs)
+        self.span_end(sid)
+        return sid
+
+    # -- per-task syscall context --------------------------------------------
+    #
+    # The write path runs in the writer's task; the root span minted at
+    # the syscall boundary is stashed per task so code deeper in the
+    # stack (nfs_updatepage) can parent to it without threading an
+    # argument through every layer.
+
+    def task_span(self) -> int:
+        if not self.enabled:
+            return 0
+        return self._task_spans.get(self.sim.current_task, 0)
+
+    def set_task_span(self, span_id: int) -> None:
+        if self.enabled and span_id:
+            self._task_spans[self.sim.current_task] = span_id
+
+    def clear_task_span(self) -> None:
+        if self.enabled:
+            self._task_spans.pop(self.sim.current_task, None)
+
+    # -- end-of-run harvesting ----------------------------------------------
+
+    def harvest_lock(self, lock, component: str = "bkl") -> None:
+        """Fold a :class:`~repro.sim.sync.MonitoredLock`'s stats into the
+        registry — called at export time, never on the hot path."""
+        if not self.enabled:
+            return
+        stats = lock.stats
+        self.metrics.counter(f"{component}/acquisitions").value = stats.acquisitions
+        self.metrics.counter(f"{component}/contended").value = stats.contended
+        self.metrics.counter(f"{component}/wait_ns").value = stats.total_wait_ns
+        self.metrics.counter(f"{component}/hold_ns").value = stats.total_hold_ns
+        for label in sorted(stats.hold_by_label):
+            self.metrics.counter(
+                f"{component}/hold_ns/{label}"
+            ).value = stats.hold_by_label[label]
+        for label in sorted(stats.wait_by_label):
+            self.metrics.counter(
+                f"{component}/wait_ns/{label}"
+            ).value = stats.wait_by_label[label]
+
+
+#: Shared no-op observer: components point here until a real one attaches.
+DISABLED = Observability()
+
+
+class ObsSession:
+    """Collects the observers of every TestBed built while active."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self.observabilities: List[Observability] = []
+
+
+_session: Optional[ObsSession] = None
+
+
+def active_session() -> Optional[ObsSession]:
+    return _session
+
+
+@contextmanager
+def observed(capacity: int = DEFAULT_CAPACITY):
+    """Context manager: observe every TestBed built inside."""
+    global _session
+    previous = _session
+    _session = ObsSession(capacity)
+    try:
+        yield _session
+    finally:
+        _session = previous
+
+
+def attach(bed, obs: Observability) -> None:
+    """Point every component of an assembled TestBed at ``obs``."""
+    bed.syscalls.obs = obs
+    bed.pagecache.obs = obs
+    nfs = getattr(bed, "nfs", None)
+    if nfs is not None:
+        nfs.obs = obs
+        nfs.xprt.obs = obs
+    server = getattr(bed, "server", None)
+    if server is not None:
+        server.obs = obs
+        server.rpc.obs = obs
+    switch = getattr(bed, "switch", None)
+    if switch is not None:
+        switch.obs = obs
+        for port in switch.ports():
+            port.uplink.obs = obs
+            port.downlink.obs = obs
+
+
+def attach_if_active(bed, observe: bool = False) -> Observability:
+    """Called by ``TestBed.__init__``; returns :data:`DISABLED` unless
+    ``observe`` is set or an ``observed()`` session is active."""
+    session = _session
+    if not observe and session is None:
+        return DISABLED
+    obs = Observability(
+        bed.sim,
+        enabled=True,
+        capacity=session.capacity if session is not None else DEFAULT_CAPACITY,
+    )
+    attach(bed, obs)
+    if session is not None:
+        session.observabilities.append(obs)
+    return obs

@@ -28,6 +28,10 @@ class RpcCall:
     args: Any
     #: UDP payload bytes (header + encoded arguments + inline data).
     size: int
+    #: Causal span id (repro.obs); 0 when tracing is off.  A pure
+    #: annotation carried across the wire so server-side work can be
+    #: parented under the syscall that caused it.
+    span_id: int = 0
 
     def __post_init__(self) -> None:
         if self.size < RPC_CALL_HEADER:
@@ -41,6 +45,8 @@ class RpcReply:
     xid: int
     result: Any
     size: int = field(default=RPC_REPLY_HEADER)
+    #: Causal span id echoed from the call (repro.obs annotation).
+    span_id: int = 0
 
     def __post_init__(self) -> None:
         if self.size < RPC_REPLY_HEADER:

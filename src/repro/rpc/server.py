@@ -13,6 +13,7 @@ from typing import Callable, Generator, Tuple
 
 from ..errors import JukeboxError
 from ..net.host import Host
+from ..obs.core import DISABLED
 from ..sim import Semaphore
 from .messages import RpcCall, RpcError, RpcReply
 
@@ -48,6 +49,7 @@ class RpcServer:
         #: Crash mode: arriving datagrams vanish and no replies leave.
         self.drop_incoming = False
         self.dropped_while_down = 0
+        self.obs = DISABLED
         self._drc: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
         self._accept = host.sim.spawn(
             self._accept_loop(), name=f"{name}-accept", daemon=True
@@ -70,6 +72,8 @@ class RpcServer:
                 continue  # retransmit of an executing request: drop
             if cached is not None:
                 self.drc_hits += 1
+                if self.obs.enabled:
+                    self.obs.count("server/drc_hits")
                 reply = cached
                 self.sock.sendto(dgram.src, dgram.src_port, reply, reply.size)
                 continue
@@ -82,7 +86,13 @@ class RpcServer:
 
     def _serve(self, src: str, src_port: int, call: RpcCall, key):
         cache_reply = True
+        obs = self.obs
         yield self._threads.acquire()
+        op_span = 0
+        if obs.enabled:
+            op_span = obs.span_begin(
+                "server", f"server_{call.proc}", parent=call.span_id, xid=call.xid
+            )
         try:
             result, reply_size = yield from self.handler(call)
         except JukeboxError as err:
@@ -99,13 +109,17 @@ class RpcServer:
             self.errors += 1
         finally:
             self._threads.release()
+        if obs.enabled:
+            obs.span_end(op_span)
         if self.drop_incoming:
             # The server crashed while this request executed: the reply
             # dies with it, and so does the in-progress DRC entry.
             self._drc.pop(key, None)
             self.dropped_while_down += 1
             return
-        reply = RpcReply(xid=call.xid, result=result, size=reply_size)
+        reply = RpcReply(
+            xid=call.xid, result=result, size=reply_size, span_id=call.span_id
+        )
         if cache_reply:
             self._remember(key, reply)
         else:

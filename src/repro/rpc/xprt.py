@@ -36,6 +36,7 @@ from ..errors import EioError, ProtocolError
 from ..kernel.bkl import LockPolicy, NoLockPolicy
 from ..net.host import Host
 from ..net.udp import UdpSocket
+from ..obs.core import DISABLED
 from ..sim import PRIO_KERNEL, Event
 from .messages import RpcCall, RpcError, RpcReply
 
@@ -124,6 +125,9 @@ class RttEstimator:
             return self.initial_ns
         return max(self.min_ns, min(self.max_ns, self.srtt_ns + 4 * self.rttvar_ns))
 
+
+#: Histogram bounds for round-trip times, in microseconds.
+RTT_BUCKETS_US = (100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000)
 
 #: Op-class map for RTT estimation (Linux ``rpc_proc_info.p_timer``).
 _TIMER_CLASS = {
@@ -227,6 +231,7 @@ class UdpTransport:
         self.send_times: Deque[int] = deque(maxlen=200_000)
         self._sim = host.sim
         self._kick: Optional[Event] = None
+        self.obs = DISABLED
         sock.on_deliver = self._nudge_rpciod
         self.rpciod = self._sim.spawn(
             self._rpciod_loop(), name=f"{name}-rpciod", daemon=True
@@ -255,6 +260,15 @@ class UdpTransport:
             self._sim, call, on_complete, self._initial_timeo(call.proc), on_error
         )
         self.stats.submitted += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.count(f"rpc/submitted/{call.proc}")
+            if call.span_id == 0:
+                # Ops the NFS layer did not annotate (LOOKUP, CREATE,
+                # READ, ...) still get a span under the running syscall.
+                call.span_id = obs.span_begin(
+                    "rpc", call.proc, parent=obs.task_span(), xid=call.xid
+                )
         if not self.backlog and self._window_open():
             self.in_flight[call.xid] = req
             req.sent_by = "inline"
@@ -264,6 +278,9 @@ class UdpTransport:
             self.backlog.append(req)
             if len(self.backlog) > self.stats.backlog_peak:
                 self.stats.backlog_peak = len(self.backlog)
+            if obs.enabled:
+                obs.count("rpc/backlogged")
+                obs.sample("rpc", "backlog", len(self.backlog))
             self._nudge_rpciod()
         return req
 
@@ -331,6 +348,12 @@ class UdpTransport:
 
     def _send(self, req: PendingRequest, label: str):
         """Generator: XDR-encode and push one call onto the wire."""
+        obs = self.obs
+        send_span = 0
+        if obs.enabled:
+            send_span = obs.span_begin(
+                "rpc", label, parent=req.call.span_id, xid=req.call.xid
+            )
         yield from self.host.cpus.execute(
             self.host.costs.rpc_build, label="rpc_build", priority=PRIO_KERNEL
         )
@@ -343,6 +366,9 @@ class UdpTransport:
             self.sock.sendto(self.server, self.server_port, req.call, req.call.size)
 
         yield from self.lock_policy.wire_send(label, wire_body())
+        if obs.enabled:
+            obs.span_end(send_span)
+            obs.sample("rpc", "cwnd", self.cwnd)
         self.send_times.append(self._sim.now)
         if req.first_sent_at is None:
             req.first_sent_at = self._sim.now
@@ -354,15 +380,24 @@ class UdpTransport:
         if req.call.xid not in self.in_flight:
             return
         req.retries += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.span_point(
+                "rpc", "timeout", parent=req.call.span_id, retries=req.retries
+            )
         if req.retries > self.retrans:
             # Major timeout: the mount's retrans budget is spent.
             self.stats.major_timeouts += 1
+            if obs.enabled:
+                obs.count(f"rpc/major_timeouts/{req.call.proc}")
             if self.soft:
                 # Soft semantics: give up and fail the request with
                 # ETIMEDOUT (rpciod completes it, under the lock policy).
                 del self.in_flight[req.call.xid]
                 req.timer = None
                 self.stats.soft_failures += 1
+                if obs.enabled:
+                    obs.count(f"rpc/soft_failures/{req.call.proc}")
                 self._failed_queue.append(req)
                 self._nudge_rpciod()
                 return
@@ -373,6 +408,8 @@ class UdpTransport:
         else:
             req.timeo_ns = min(req.timeo_ns * 2, self.MAX_TIMEO_NS)
         self.stats.retransmits += 1
+        if obs.enabled:
+            obs.count(f"rpc/retransmits/{req.call.proc}")
         self._on_timeout_cwnd()
         self._retrans_queue.append(req)
         self._nudge_rpciod()
@@ -434,12 +471,17 @@ class UdpTransport:
             self.in_flight[req.call.xid] = req
             req.sent_by = "rpciod"
             self.stats.sent_by_rpciod += 1
+            if self.obs.enabled:
+                self.obs.sample("rpc", "backlog", len(self.backlog))
             yield from self._send(req, "rpc_send_rpciod")
 
     def _handle_reply(self, reply: RpcReply):
+        obs = self.obs
         req = self.in_flight.get(reply.xid)
         if req is None:
             self.stats.duplicate_replies += 1
+            if obs.enabled:
+                obs.count("rpc/duplicate_replies")
             yield from self.host.cpus.execute(
                 self.host.costs.reply_processing,
                 label="rpc_reply_dup",
@@ -450,6 +492,8 @@ class UdpTransport:
             # NFS3ERR_JUKEBOX: the server asked for patience.  Hold the
             # slot and re-send the same xid after the jukebox delay.
             self.stats.jukebox_retries += 1
+            if obs.enabled:
+                obs.count("rpc/jukebox_retries")
             if req.timer is not None:
                 req.timer.cancel()
             req.timer = self._sim.schedule(
@@ -468,6 +512,23 @@ class UdpTransport:
         ):
             # Karn's rule: retransmitted calls yield ambiguous samples.
             self.rtt[req.timer_class].observe(self._sim.now - req.first_sent_at)
+        if obs.enabled:
+            if req.retries == 0 and req.first_sent_at is not None:
+                obs.observe(
+                    f"rpc/rtt_us/{req.timer_class}",
+                    (self._sim.now - req.first_sent_at) // 1_000,
+                    RTT_BUCKETS_US,
+                )
+            if self.adaptive_timeo:
+                srtt = self.rtt[req.timer_class].srtt_ns
+                if srtt is not None:
+                    obs.sample("rpc", f"srtt_us_{req.timer_class}", srtt // 1_000)
+
+        reply_span = 0
+        if obs.enabled:
+            reply_span = obs.span_begin(
+                "rpc", "rpc_reply", parent=req.call.span_id, xid=reply.xid
+            )
 
         def process():
             yield from self.host.cpus.execute(
@@ -483,6 +544,9 @@ class UdpTransport:
 
         yield from self.lock_policy.critical("rpciod", process())
         self.stats.completed += 1
+        if obs.enabled:
+            obs.span_end(reply_span)
+            obs.span_end(req.call.span_id)
         req.completion.trigger(reply)
 
     def _complete_failure(self, req: PendingRequest):
@@ -494,6 +558,7 @@ class UdpTransport:
                 f"(soft mount, retrans={self.retrans})",
                 code="ETIMEDOUT",
             ),
+            span_id=req.call.span_id,
         )
 
         def process():
@@ -507,4 +572,6 @@ class UdpTransport:
 
         yield from self.lock_policy.critical("rpciod", process())
         self.stats.completed += 1
+        if self.obs.enabled:
+            self.obs.span_end(req.call.span_id, error="ETIMEDOUT")
         req.completion.trigger(reply)

@@ -35,6 +35,7 @@ from ..nfs3 import (
     read_reply_size,
     write_reply_size,
 )
+from ..obs.core import DISABLED
 from ..rpc import RpcCall, RpcServer
 from ..sim import Lock, Simulator, WaitQueue
 from ..units import transfer_time
@@ -103,6 +104,7 @@ class NfsServerBase:
         self.commits_handled = 0
         self.reads_handled = 0
         self.bytes_served = 0
+        self.obs = DISABLED
         self.rpc = RpcServer(self.host, NFS_PORT, self.handle, nthreads, name=name)
 
     # -- pause (checkpoints, fault injection) --------------------------------
@@ -174,8 +176,12 @@ class NfsServerBase:
 
     def handle(self, call: RpcCall):
         """Generator: RPC program handler; returns (result, reply_size)."""
+        if self.obs.enabled:
+            self.obs.count(f"server/ops/{call.proc}")
         if call.proc in ("WRITE", "COMMIT") and self.sim.now < self._jukebox_until:
             self.jukebox_injected += 1
+            if self.obs.enabled:
+                self.obs.count("server/jukebox_injected")
             raise JukeboxError(
                 f"{self.name}: {call.proc} deferred, media being recalled"
             )
@@ -197,6 +203,8 @@ class NfsServerBase:
         committed = yield from self.store_write(file, args)
         self.bytes_received += args.count
         self.writes_handled += 1
+        if self.obs.enabled:
+            self.obs.count("server/bytes_received", args.count)
         file.change_id += 1
         end = args.offset + args.count
         if end > file.size:

@@ -157,6 +157,8 @@ class LinuxNfsServer(NfsServerBase):
                     chunk = min(victim.dirty_bytes, FLUSH_CHUNK)
                     victim.dirty_bytes -= chunk
                     self.total_dirty -= chunk
+                    if self.obs.enabled:
+                        self.obs.count("server/bdflush_bytes", chunk)
                     yield from self.disk.write(chunk, sequential=True)
                     victim.stable_bytes += chunk
                     self._dirty_waitq.wake_all()

@@ -104,6 +104,9 @@ class NetappFiler(NfsServerBase):
         full_half = self.active_half_used
         self.active_half_used = 0
         self.draining = True
+        if self.obs.enabled:
+            self.obs.count("server/checkpoints")
+            self.obs.span_point("server", "checkpoint", bytes=full_half)
         # The prototype stops servicing requests briefly at CP start.
         self.pause()
         start = self.sim.now

@@ -35,6 +35,17 @@ class Tracer:
             return
         self._records.append(TraceRecord(self._sim.now, component, kind, fields))
 
+    def record_at(self, time: int, component: str, kind: str, **fields: Any) -> None:
+        """Record with an explicit timestamp.
+
+        Used for events whose span is known at schedule time (a frame's
+        arrival is computed when it is queued) — the ring stays in
+        append order, which exporters tolerate.
+        """
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, component, kind, fields))
+
     def records(
         self, component: Optional[str] = None, kind: Optional[str] = None
     ) -> List[TraceRecord]:

@@ -1,0 +1,65 @@
+"""Percentile helpers on LatencyTrace and the shared trace summary."""
+
+import pytest
+
+from repro.bench.latency import LatencyTrace
+from repro.bench.report import trace_summary
+
+
+def _trace(values):
+    t = LatencyTrace()
+    now = 0
+    for v in values:
+        t.record(now, now + v)
+        now += v
+    return t
+
+
+def test_percentile_nearest_rank():
+    t = _trace(range(1, 101))  # 1..100 ns
+    assert t.percentile_ns(50) == 50
+    assert t.percentile_ns(90) == 90
+    assert t.percentile_ns(99) == 99
+    assert t.percentile_ns(100) == 100
+    assert t.percentile_ns(1) == 1
+
+
+def test_percentile_single_value_and_empty():
+    assert _trace([7]).percentile_ns(50) == 7
+    assert _trace([]).percentile_ns(99) == 0
+
+
+def test_percentile_rejects_out_of_range():
+    t = _trace([1, 2, 3])
+    with pytest.raises(ValueError):
+        t.percentile_ns(0)
+    with pytest.raises(ValueError):
+        t.percentile_ns(101)
+    with pytest.raises(ValueError):
+        t.percentiles_ns((50, 0))
+
+
+def test_percentiles_match_single_calls():
+    t = _trace([5, 1, 9, 3, 7, 2, 8, 4, 6, 10])
+    many = t.percentiles_ns((50, 90, 99))
+    assert many == {
+        50: t.percentile_ns(50),
+        90: t.percentile_ns(90),
+        99: t.percentile_ns(99),
+    }
+
+
+def test_percentile_skip_first_drops_warmup():
+    t = _trace([1_000_000, 1, 1, 1])
+    assert t.percentile_ns(100) == 1_000_000
+    assert t.percentile_ns(100, skip_first=1) == 1
+
+
+def test_trace_summary_quotes_percentiles():
+    t = _trace([1_000] * 99 + [2_000_000])
+    line = trace_summary(t)
+    assert "n=100" in line
+    assert "p50=1.0us" in line
+    assert "p99=1.0us" in line
+    assert "max=2.000ms" in line
+    assert trace_summary(_trace([])) == "write(): no calls recorded"

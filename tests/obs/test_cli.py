@@ -1,0 +1,78 @@
+"""The trace/metrics CLI surface and the bundle writer."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.bundle import TRACE_POINTS, run_traced, trace_names, write_bundle
+from repro.obs.export import validate_chrome_trace
+
+
+def test_trace_names_cover_experiments_and_scenarios():
+    names = trace_names()
+    assert "fig1" in names and "fig7" in names and "tab1" in names
+    assert "lossy-burst" in names
+
+
+def test_run_traced_rejects_unknown_name():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="unknown trace target"):
+        run_traced("fig99")
+
+
+def test_trace_cli_writes_valid_bundle(tmp_path):
+    out_dir = tmp_path / "bundle"
+    rc = main(["trace", "fig1", "--out", str(out_dir)])
+    assert rc == 0
+    trace_path = out_dir / "trace.json"
+    assert trace_path.exists()
+    with open(trace_path) as f:
+        obj = json.load(f)
+    spans = validate_chrome_trace(obj)
+    names = {s.name for s in spans.values()}
+    assert "write" in names and "server_WRITE" in names
+    prom = (out_dir / "metrics.prom").read_text()
+    assert "repro_syscall_write_calls" in prom
+    assert prom.endswith("\n")
+    profile = (out_dir / "profile.txt").read_text()
+    assert "samples" in profile  # the profiler section rendered
+    assert "write() latency" in profile
+
+
+def test_metrics_cli_prints_prometheus_text(capsys):
+    rc = main(["metrics", "fig1"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "repro_rpc_submitted" in text
+    assert "repro_bkl_acquisitions" in text  # harvested BKL ledger
+
+
+def test_metrics_deterministic_across_runs(tmp_path):
+    buf1, buf2 = io.StringIO(), io.StringIO()
+    from repro.experiments.cli import print_metrics
+
+    assert print_metrics("fig1", out=buf1) == 0
+    assert print_metrics("fig1", out=buf2) == 0
+    assert buf1.getvalue() == buf2.getvalue()
+
+
+def test_write_bundle_multi_bed_suffixes(tmp_path):
+    observabilities, result, _ = run_traced("fig1")
+    paths = write_bundle(
+        observabilities[0], str(tmp_path), "fig1", index=0
+    )
+    assert [os.path.basename(p) for p in paths] == [
+        "trace-0.json",
+        "metrics-0.prom",
+        "profile-0.txt",
+    ]
+
+
+def test_every_trace_point_names_a_real_experiment():
+    from repro.experiments.registry import experiment_ids
+
+    assert set(TRACE_POINTS) == set(experiment_ids())

@@ -1,0 +1,63 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    reg.counter("rpc/submitted").inc()
+    reg.counter("rpc/submitted").inc(4)
+    assert reg.counter("rpc/submitted").value == 5
+
+
+def test_gauge_tracks_max():
+    reg = MetricsRegistry()
+    g = reg.gauge("pagecache/dirty_bytes")
+    g.set(10)
+    g.set(100)
+    g.set(40)
+    assert g.value == 40
+    assert g.max_value == 100
+
+
+def test_histogram_buckets_and_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("coalesce/group_pages", bounds=(1, 4, 16))
+    for v in (1, 2, 4, 5, 100):
+        h.observe(v)
+    assert h.count == 5
+    assert h.total == 112
+    rows = h.cumulative()
+    assert rows[-1][0] == "+Inf"
+    assert rows[-1][1] == 5
+    # le=1 -> 1 sample, le=4 -> 3 samples, le=16 -> 4 samples.
+    assert [c for _, c in rows] == [1, 3, 4, 5]
+
+
+def test_histogram_default_bounds():
+    reg = MetricsRegistry()
+    h = reg.histogram("x/y")
+    assert h.bounds == DEFAULT_BUCKETS
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("a/b")
+    with pytest.raises(TypeError):
+        reg.gauge("a/b")
+    with pytest.raises(TypeError):
+        reg.histogram("a/b")
+
+
+def test_items_sorted_and_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("z/last").inc()
+    reg.counter("a/first").inc(2)
+    reg.histogram("m/h", bounds=(1,)).observe(3)
+    assert [k for k, _ in reg.items()] == ["a/first", "m/h", "z/last"]
+    snap = reg.snapshot()
+    assert snap["a/first"] == 2
+    assert snap["m/h_count"] == 1
+    assert snap["m/h_sum"] == 3
