@@ -1,0 +1,35 @@
+"""Fleet benchmark: aggregate throughput as the client count grows.
+
+The multi-client corollary of the paper's central constraint: "NFS
+memory write throughput remains constrained to network/server
+throughput" (§3.2).  Runs the full fleet experiment (1-32 clients
+against the filer and the knfsd) and additionally times a single
+32-client point, recording the aggregate rate and simulator event
+throughput in ``extra_info``.
+"""
+
+from repro.topology import FleetJobSpec, run_fleet_job
+from repro.units import KIB
+
+
+def test_fleet_experiment(run_experiment):
+    run_experiment("fleet", scale=1.0)
+
+
+def test_fleet_32_clients_saturate_filer(benchmark, capsys):
+    spec = FleetJobSpec.homogeneous(32, target="netapp", file_bytes=1024 * KIB)
+    point = benchmark.pedantic(
+        run_fleet_job, args=(spec,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["aggregate_mbps"] = round(point.aggregate_mbps, 2)
+    benchmark.extra_info["jain"] = round(point.fairness, 4)
+    benchmark.extra_info["events"] = point.events_processed
+    with capsys.disabled():
+        print(
+            f"\n32-client fleet: {point.aggregate_mbps:.1f} MBps aggregate, "
+            f"Jain {point.fairness:.4f}, "
+            f"{point.events_processed} events"
+        )
+    # The filer's ingest station sets the ceiling, not the client count.
+    assert 0.55 * 38.0 <= point.aggregate_mbps <= 1.1 * 38.0
+    assert point.fairness >= 0.95

@@ -2,6 +2,7 @@
 
 from .compare import Check, Comparison
 from .stats import (
+    jain_index,
     linear_slope,
     mean,
     percentile,
@@ -19,4 +20,5 @@ __all__ = [
     "linear_slope",
     "windowed_jitter",
     "ratio",
+    "jain_index",
 ]

@@ -16,6 +16,7 @@ __all__ = [
     "linear_slope",
     "windowed_jitter",
     "ratio",
+    "jain_index",
 ]
 
 
@@ -80,3 +81,20 @@ def ratio(a: float, b: float) -> float:
     if b == 0:
         return float("inf") if a else 0.0
     return a / b
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²), in (0, 1].
+
+    1.0 means every client got an equal share; 1/n means one client got
+    everything.  The multi-client fleet reports use it to audit the
+    emergent fairness of the servers' FIFO ingest stations.
+    """
+    n = len(values)
+    if n == 0:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (n * square_sum)

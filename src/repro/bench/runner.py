@@ -1,19 +1,26 @@
 """Test-bed assembly: one client machine wired to a chosen target.
 
-A :class:`TestBed` reproduces §3.1's systems-under-test: the dual-P3
-client, the gigabit switch, and one of
+:class:`TestBed` is the historical single-client surface, now a thin
+shim over a one-client :class:`~repro.topology.Topology` — same public
+attributes, same behaviour, bit-identical results.  New code (and
+anything multi-client) should use the topology API directly; the
+targets are unchanged:
 
 * ``"netapp"`` — the F85 filer (NVRAM, FILE_SYNC, checkpoints),
 * ``"linux"`` — the 4-way Linux knfsd (UNSTABLE + COMMIT, one disk),
 * ``"linux-100"`` — the same knfsd behind 100 Mbps Ethernet (§3.5),
 * ``"local"`` — client-local ext2 (no server at all).
 
-Client behaviour comes from a variant name or an explicit
-:class:`~repro.config.NfsClientConfig`.
+The per-kind ``filer_config``/``linux_config``/``local_config`` kwargs
+are deprecated in favour of ``server=ServerSpec(kind, config)``; a
+config passed for a target that would have silently ignored it is now a
+:class:`~repro.errors.ConfigError` naming the replacement.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from typing import Optional, Union
 
 from ..config import (
@@ -26,16 +33,7 @@ from ..config import (
     NfsClientConfig,
 )
 from ..errors import ConfigError
-from ..kernel.pagecache import PageCache
-from ..kernel.syscalls import SyscallLayer
-from ..localfs import Ext2Fs
-from ..net import Host, Switch
-from ..nfsclient import NfsClient
-from ..nfsclient.variants import variant_config
-from ..server import LinuxNfsServer, NetappFiler
-from ..sim import SamplingProfiler, Simulator
-from ..units import us
-from .bonnie import BenchmarkResult, SequentialWriteBenchmark
+from .bonnie import BenchmarkResult
 
 __all__ = ["TestBed", "SERVER_KINDS"]
 
@@ -50,7 +48,7 @@ class TestBed:
 
     def __init__(
         self,
-        target: str = "netapp",
+        target: Optional[str] = None,
         client: Union[str, NfsClientConfig, None] = "stock",
         hw: Optional[ClientHwConfig] = None,
         net: Optional[NetConfig] = None,
@@ -60,98 +58,82 @@ class TestBed:
         local_config: Optional[LocalFsConfig] = None,
         profile: bool = False,
         observe: bool = False,
+        server=None,
     ):
-        if target not in SERVER_KINDS:
-            raise ConfigError(
-                f"unknown target {target!r} (expected one of {SERVER_KINDS})"
-            )
-        self.target = target
-        self.hw = hw or ClientHwConfig()
-        self.net = net or NetConfig.gigabit()
-        self.mount = mount or MountConfig()
-        if isinstance(client, str):
-            self.client_config = variant_config(client)
+        # Imported lazily: repro.bench must stay importable before
+        # repro.topology finishes loading (topology itself builds on
+        # the benchmark classes in this package).
+        from ..topology import ClientSpec, ServerSpec, Topology
+
+        legacy = (filer_config, linux_config, local_config)
+        if server is not None:
+            if any(cfg is not None for cfg in legacy):
+                raise ConfigError(
+                    "pass either server=ServerSpec(...) or the deprecated "
+                    "per-kind config kwargs, not both"
+                )
+            if not isinstance(server, ServerSpec):
+                raise ConfigError(
+                    f"server must be a ServerSpec, got {type(server).__name__}"
+                )
+            if target is not None and target != server.kind:
+                raise ConfigError(
+                    f"target {target!r} contradicts server kind {server.kind!r}"
+                )
         else:
-            self.client_config = client or NfsClientConfig()
+            if any(cfg is not None for cfg in legacy):
+                warnings.warn(
+                    "filer_config/linux_config/local_config are deprecated; "
+                    "pass server=ServerSpec(kind, config) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            server = ServerSpec.from_legacy(
+                target if target is not None else "netapp",
+                filer_config=filer_config,
+                linux_config=linux_config,
+                local_config=local_config,
+            )
+            # Historical behaviour: the server's switch port shared the
+            # client's NetConfig (including injected loss), except for
+            # linux-100's fixed fast Ethernet.
+            if net is not None and server.kind in ("netapp", "linux"):
+                server = dataclasses.replace(server, net=net)
 
-        self.sim = Simulator()
-        self.switch = Switch(self.sim)
-        self.client_host = Host(
-            self.sim,
-            "client",
-            self.switch,
-            self.net,
-            ncpus=self.hw.ncpus,
-            costs=self.hw.costs,
+        spec = ClientSpec(
+            client=client, hw=hw, net=net, mount=mount, name="client"
         )
-        self.pagecache = PageCache(
-            self.sim,
-            dirty_limit_bytes=self.hw.dirty_limit_bytes,
-            background_bytes=self.hw.dirty_background_bytes,
+        self.topology = Topology(
+            clients=(spec,),
+            servers=(server,),
+            profile=profile,
+            observe=observe,
         )
-        self.server = None
-        self.nfs: Optional[NfsClient] = None
-        self.ext2: Optional[Ext2Fs] = None
+        stack = self.topology.clients[0]
 
-        if target == "netapp":
-            self.server = NetappFiler(
-                self.sim, self.switch, self.net, filer_config or FilerConfig()
-            )
-        elif target == "linux":
-            self.server = LinuxNfsServer(
-                self.sim, self.switch, self.net, linux_config or LinuxServerConfig()
-            )
-        elif target == "linux-100":
-            self.server = LinuxNfsServer(
-                self.sim,
-                self.switch,
-                NetConfig.fast_ethernet(),
-                linux_config or LinuxServerConfig(),
-            )
-        else:  # local
-            self.ext2 = Ext2Fs(
-                self.client_host, self.pagecache, local_config or LocalFsConfig()
-            )
-
-        if self.server is not None:
-            self.nfs = NfsClient(
-                self.client_host,
-                self.pagecache,
-                server=self.server.name,
-                mount=self.mount,
-                behavior=self.client_config,
-            )
-
-        self.syscalls = SyscallLayer(
-            self.client_host, instrument=self.client_config.instrument_latency
-        )
-        self.profiler: Optional[SamplingProfiler] = None
-        if profile:
-            self.profiler = SamplingProfiler(
-                self.sim, self.client_host.cpus, period=us(100)
-            )
-            self.profiler.start()
-
-        # Inside a `sanitized()` session this attaches the runtime
-        # sanitizers (lock order, races, invariants); otherwise a no-op.
-        # Imported here to keep bench free of analysis at import time.
-        from ..analysis.sanitize.runtime import attach_if_active
-
-        self.sanitizer = attach_if_active(self)
-
-        # Observability attaches the same way: a passive metrics+span
-        # recorder, enabled explicitly or by an `observed()` session.
-        from ..obs.core import attach_if_active as obs_attach_if_active
-
-        self.obs = obs_attach_if_active(self, observe=observe)
+        # The historical public surface, verbatim.
+        self.target = server.kind
+        self.hw = stack.hw
+        self.net = stack.net
+        self.mount = stack.mount
+        self.client_config = stack.client_config
+        self.sim = self.topology.sim
+        self.switch = self.topology.switch
+        self.client_host = stack.host
+        self.pagecache = stack.pagecache
+        self.server = stack.server
+        self.nfs = stack.nfs
+        self.ext2 = stack.ext2
+        self.syscalls = stack.syscalls
+        self.profiler = stack.profiler
+        self.sanitizer = stack.sanitizer
+        self.obs = self.topology.obs
 
     # -- convenience ---------------------------------------------------------
 
     def open_file(self, name: str = "testfile"):
         """Generator: create a fresh file on the active target."""
-        if self.nfs is not None:
-            return (yield from self.nfs.open_new(name))
-        return (yield from self.ext2.open_new(name))
+        return (yield from self.topology.clients[0].open_file(name))
 
     def run_sequential_write(
         self,
@@ -161,23 +143,9 @@ class TestBed:
         time_limit_ns: Optional[int] = None,
     ) -> BenchmarkResult:
         """Build, run and harvest one full benchmark run (blocking)."""
-        bench = SequentialWriteBenchmark(
-            self.syscalls, chunk_bytes=chunk_bytes, do_fsync=do_fsync
+        return self.topology.run_sequential_write(
+            file_bytes,
+            chunk_bytes=chunk_bytes,
+            do_fsync=do_fsync,
+            time_limit_ns=time_limit_ns,
         )
-
-        def body():
-            file = yield from self.open_file()
-            result = yield from bench.run(file, file_bytes)
-            return result
-
-        # daemon=True so failures surface as task.error below (re-raised
-        # with their original type) instead of TaskFailed mid-run.
-        task = self.sim.spawn(body(), name="benchmark", daemon=True)
-        self.sim.run_until(lambda: task.done, limit=time_limit_ns)
-        if not task.done:
-            raise ConfigError("benchmark did not finish; simulation wedged?")
-        if task.error is not None:
-            raise task.error
-        if self.profiler is not None:
-            self.profiler.stop()
-        return task.result

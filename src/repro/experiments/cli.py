@@ -7,6 +7,8 @@ Examples::
     repro-nfs run all --quick
     repro-nfs run fig1 fig7 --scale 8
     repro-nfs run fig1 --full        # paper-size sweep (slow)
+    repro-nfs fleet --clients 8 --target netapp
+    repro-nfs fleet --clients 4 --target linux --sanitize
     repro-nfs faults --list
     repro-nfs faults --scenario lossy-burst --seed 1
     repro-nfs faults --sanitize
@@ -92,6 +94,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="result cache location (default: $REPRO_NFS_CACHE_DIR or "
         "~/.cache/repro-nfs)",
+    )
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a multi-client fleet against one server and audit "
+        "fairness, saturation, and determinism",
+    )
+    fleet.add_argument(
+        "--clients", type=int, default=8, help="client count (default 8)"
+    )
+    fleet.add_argument(
+        "--target",
+        choices=("netapp", "linux", "linux-100"),
+        default="netapp",
+        help="server under test (default netapp)",
+    )
+    fleet.add_argument(
+        "--client-variant",
+        default="stock",
+        metavar="NAME",
+        help="NFS client variant every fleet member runs (default stock)",
+    )
+    fleet.add_argument(
+        "--file-kib",
+        type=int,
+        default=1024,
+        metavar="KIB",
+        help="per-client file size in KiB (default 1024)",
+    )
+    fleet.add_argument(
+        "--chunk",
+        type=int,
+        default=8192,
+        metavar="BYTES",
+        help="write() size (default 8192)",
+    )
+    fleet.add_argument(
+        "--stagger-us",
+        type=int,
+        default=0,
+        metavar="US",
+        help="stagger client start times by this many microseconds each",
+    )
+    fleet.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the second run that checks bit-for-bit determinism",
+    )
+    fleet.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the runtime sanitizers and audit their findings",
     )
     faults = sub.add_parser(
         "faults",
@@ -285,6 +338,148 @@ def print_metrics(name: str, seed: int = 1, out=None) -> int:
     return 0
 
 
+def run_fleet(
+    clients: int,
+    target: str,
+    client_variant: str = "stock",
+    file_kib: int = 1024,
+    chunk_bytes: int = 8192,
+    stagger_us: int = 0,
+    verify: bool = True,
+    sanitize: bool = False,
+    out=None,
+) -> bool:
+    """``repro-nfs fleet``: one fleet point with a fairness audit.
+
+    Runs N identical clients concurrently against one server, prints
+    per-client and aggregate throughput plus Jain's fairness index, and
+    audits invariants (durability, fairness, ingest envelope — and the
+    sanitizer groups with ``sanitize``).  With ``verify`` the fleet runs
+    a second, uninstrumented time and the two reduced results must hash
+    identically: the bit-for-bit contract, which also proves the
+    sanitizers perturbed nothing.
+    """
+    from contextlib import ExitStack
+
+    from ..faults.scenarios import Invariant, _sanitizer_invariants
+    from ..topology import FleetJobSpec, FleetWorkload, Topology
+    from ..topology.fleet import reduce_fleet
+    from ..units import KIB, us
+
+    if out is None:
+        out = sys.stdout
+    spec = FleetJobSpec.homogeneous(
+        clients,
+        target=target,
+        client=client_variant,
+        file_bytes=file_kib * KIB,
+        chunk_bytes=chunk_bytes,
+        stagger_ns=us(stagger_us),
+    )
+    started = time.time()  # noqa: DET102 - wall-clock reporting only
+    with ExitStack() as stack:
+        san_session = None
+        if sanitize:
+            from ..analysis.sanitize import sanitized
+
+            san_session = stack.enter_context(sanitized())
+        topo = Topology(clients=spec.clients, servers=spec.servers, switch=spec.switch)
+        fleet = FleetWorkload(
+            topo,
+            spec.file_bytes,
+            chunk_bytes=spec.chunk_bytes,
+            do_fsync=spec.do_fsync,
+            stagger_ns=spec.stagger_ns,
+        ).run(time_limit_ns=spec.time_limit_ns)
+    point = reduce_fleet(fleet)
+    elapsed = time.time() - started  # noqa: DET102
+
+    rows = [
+        (c["name"], f"{mb:.2f}", f"{p99:.1f}")
+        for c, mb, p99 in zip(
+            point.clients, point.client_mbps(), point.client_p99_us()
+        )
+    ]
+    width = max(len(r[0]) for r in rows)
+    out.write(f"{clients} x {client_variant} client(s) -> {target}, "
+              f"{file_kib} KiB each\n")
+    out.write(f"{'client'.ljust(width)}  write MBps   p99 us\n")
+    for name, mb, p99 in rows:
+        out.write(f"{name.ljust(width)}  {mb.rjust(10)}  {p99.rjust(7)}\n")
+    out.write(
+        f"aggregate {point.aggregate_mbps:.2f} MBps over "
+        f"{point.span_ns / 1e6:.1f} ms, Jain {point.fairness:.4f}\n"
+    )
+    for row in point.servers:
+        shares = ", ".join(
+            f"{src} {share:.3f}" for src, share in sorted(row["ingest_shares"].items())
+        )
+        out.write(
+            f"{row['name']}: {row['bytes_received']} bytes in, "
+            f"shares [{shares}], downlink queued "
+            f"{row['downlink_queue_ns'] / 1e6:.1f} ms total\n"
+        )
+
+    invariants = []
+    for server in topo.servers:
+        if server is None:
+            continue
+        laggards = sorted(
+            f.name
+            for f in server.files.values()
+            if f.size != spec.file_bytes or f.stable_bytes < f.size
+        )
+        invariants.append(
+            Invariant(
+                f"files-complete-durable[{server.name}]",
+                len(server.files) == clients and not laggards,
+                f"{len(server.files)} files, incomplete: {laggards}",
+            )
+        )
+        bound = 1.1 * server.ingest_bytes_per_sec
+        invariants.append(
+            Invariant(
+                f"within-ingest-envelope[{server.name}]",
+                point.aggregate_bytes_per_sec <= bound,
+                f"aggregate {point.aggregate_mbps:.1f} MBps exceeds "
+                "the server's ingest rate",
+            )
+        )
+    if stagger_us == 0:
+        invariants.append(
+            Invariant(
+                "fair-share",
+                point.fairness >= 0.95,
+                f"Jain {point.fairness:.4f} < 0.95 for identical clients",
+            )
+        )
+    if sanitize:
+        invariants.extend(_sanitizer_invariants(san_session))
+    fingerprint = point.run_fingerprint()
+    if verify:
+        from ..topology import run_fleet_job
+
+        replay_fp = run_fleet_job(spec).run_fingerprint()
+        invariants.append(
+            Invariant(
+                "deterministic-replay",
+                replay_fp == fingerprint,
+                f"replay fingerprint {replay_fp[:12]} != {fingerprint[:12]}",
+            )
+        )
+
+    passed = all(inv.ok for inv in invariants)
+    verdict = "PASS" if passed else "FAIL"
+    out.write(
+        f"{verdict} fleet (fingerprint={fingerprint[:12]}, {elapsed:.1f} s wall)\n"
+    )
+    for inv in invariants:
+        mark = "ok" if inv.ok else "VIOLATED"
+        detail = f" — {inv.detail}" if inv.detail and not inv.ok else ""
+        out.write(f"  [{mark:8s}] {inv.name}{detail}\n")
+    return passed
+
+
 def run_fault_scenarios(
     names: Optional[List[str]],
     seed: int,
@@ -344,6 +539,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 1) < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.command == "fleet":
+        if args.clients < 1:
+            parser.error(f"--clients must be >= 1, got {args.clients}")
+        if args.file_kib < 1:
+            parser.error(f"--file-kib must be >= 1, got {args.file_kib}")
+        ok = run_fleet(
+            args.clients,
+            args.target,
+            client_variant=args.client_variant,
+            file_kib=args.file_kib,
+            chunk_bytes=args.chunk,
+            stagger_us=args.stagger_us,
+            verify=not args.no_verify,
+            sanitize=args.sanitize,
+        )
+        return 0 if ok else 1
     if args.command == "faults":
         from ..faults import SCENARIOS
 

@@ -40,7 +40,10 @@ def sweep_specs(client_variant: str, scale: float, quick: bool):
             client=client_variant,
             file_bytes=size_mb * MB,
             hw=hw,
-            filer_config=filer,
+            # The scaled filer config only applies to the netapp target;
+            # passing it elsewhere is now a ConfigError instead of a
+            # silent no-op.
+            filer_config=filer if target == "netapp" else None,
         )
         for target in SWEEP_TARGETS
         for size_mb in sizes_mb

@@ -28,13 +28,14 @@ class Figure4(Experiment):
 
     def _run(self, comparison: Comparison, data, scale: float, quick: bool) -> str:
         file_mb = 30 if quick else FILE_MB
-        filer_config = None
+        server = None
         if quick:
             # Shrink NVRAM so the shorter run still crosses a checkpoint.
             from ..config import FilerConfig
+            from ..topology import ServerSpec
 
-            filer_config = FilerConfig(nvram_bytes=8 * MB)
-        bed = TestBed(target="netapp", client="hashtable", filer_config=filer_config)
+            server = ServerSpec("netapp", FilerConfig(nvram_bytes=8 * MB))
+        bed = TestBed(target="netapp", client="hashtable", server=server)
         result = bed.run_sequential_write(file_mb * MB)
         trace = result.trace
 

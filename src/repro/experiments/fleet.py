@@ -1,0 +1,119 @@
+"""Fleet: multi-client scaling against one server.
+
+The paper's single-client finding — "NFS memory write throughput
+remains constrained to network/server throughput" (§3.2, §3.5) — has a
+fleet-level corollary: adding clients cannot add server throughput.
+This experiment sweeps client count against the filer and the Linux
+knfsd, checking that aggregate throughput saturates at the server's
+ingest rate (~38 / ~26 MBps) instead of scaling linearly, and that the
+FIFO ingest station shares it fairly (Jain's index ≈ 1 for identical
+clients) while per-client p99 write latency grows with contention.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis import Comparison
+from ..topology import FleetJobSpec
+from ..units import KIB
+from .base import Experiment, format_table
+
+__all__ = ["Fleet"]
+
+#: Client counts swept per target.
+FULL_COUNTS = (1, 2, 4, 8, 16, 32)
+QUICK_COUNTS = (1, 2, 4, 8)
+
+#: Per-client file size (every client writes its own file).
+FULL_FILE_BYTES = 1024 * KIB
+QUICK_FILE_BYTES = 384 * KIB
+
+#: Target -> the MBps bound fleet aggregate (measured through fsync and
+#: close) should pin to.  The filer commits into NVRAM, so its bound is
+#: the ~38 MBps ingest rate itself; the knfsd's COMMIT forces the lone
+#: disk (~25 MBps) after ingest (~26 MBps), and the two serial passes
+#: compose to ~12.7 MBps end-to-end.
+TARGET_BOUNDS = {
+    "netapp": 38.0,
+    "linux": 26.0 * 25.0 / (26.0 + 25.0),
+}
+
+
+class Fleet(Experiment):
+    id = "fleet"
+    title = "Multi-client scaling: aggregate pinned to server speed"
+    paper_ref = "§3.2/§3.5 corollary"
+
+    def _run(self, comparison: Comparison, data, scale: float, quick: bool) -> str:
+        counts = QUICK_COUNTS if quick else FULL_COUNTS
+        file_bytes = QUICK_FILE_BYTES if quick else FULL_FILE_BYTES
+        targets = sorted(TARGET_BOUNDS)
+
+        specs = [
+            FleetJobSpec.homogeneous(count, target=target, file_bytes=file_bytes)
+            for target in targets
+            for count in counts
+        ]
+        results = self.context.executor().map(specs)
+
+        data["counts"] = list(counts)
+        rows: List[tuple] = []
+        for t, target in enumerate(targets):
+            points = results[t * len(counts) : (t + 1) * len(counts)]
+            aggregate = [p.aggregate_mbps for p in points]
+            fairness = [p.fairness for p in points]
+            p99_us = [max(p.client_p99_us()) for p in points]
+            finish_ms = [
+                max(c["close_elapsed_ns"] for c in p.clients) / 1e6
+                for p in points
+            ]
+            data[f"{target}_aggregate_mbps"] = aggregate
+            data[f"{target}_jain"] = fairness
+            data[f"{target}_p99_us"] = p99_us
+            data[f"{target}_finish_ms"] = finish_ms
+            for count, agg, jain, p99, fin in zip(
+                counts, aggregate, fairness, p99_us, finish_ms
+            ):
+                rows.append((target, count, agg, jain, p99, fin))
+
+            bound = TARGET_BOUNDS[target]
+            comparison.add(
+                f"aggregate saturates at server ingest rate ({target})",
+                0.55 * bound <= aggregate[-1] <= 1.1 * bound,
+                paper=f"~{bound:.0f} MBps network/server bound",
+                measured=f"{aggregate[-1]:.1f} MBps at {counts[-1]} clients",
+            )
+            comparison.add(
+                f"scaling is sublinear — clients add no throughput ({target})",
+                aggregate[-1] < 2.0 * aggregate[0],
+                paper="server speed, not client count, sets the ceiling",
+                measured=f"{counts[-1]}x clients -> "
+                f"{aggregate[-1] / aggregate[0]:.2f}x throughput",
+            )
+            comparison.add(
+                f"FIFO ingest shares fairly across identical clients ({target})",
+                min(fairness) >= 0.95,
+                paper="no per-client scheduler; fairness is emergent",
+                measured=f"Jain min {min(fairness):.3f}",
+            )
+            # Contention shows up as completion time, not write() p99:
+            # writes absorb into each client's own page cache; the
+            # shared server makes everyone's flush take N times longer.
+            comparison.add(
+                f"per-client completion stretches with fleet size ({target})",
+                finish_ms[-1] > 2.0 * finish_ms[0],
+                paper="a shared server divides its speed among clients",
+                measured=f"finish {finish_ms[0]:.1f} -> {finish_ms[-1]:.1f} ms "
+                f"at {counts[-1]} clients",
+            )
+
+        table = format_table(
+            ["target", "clients", "aggregate MBps", "Jain", "worst p99 us", "finish ms"],
+            rows,
+            precision=2,
+        )
+        return (
+            f"Each client writes its own {file_bytes // KIB} KiB file, all "
+            "concurrently, through one switch.\n" + table
+        )

@@ -13,6 +13,7 @@ from .figure4 import Figure4
 from .figure5 import Figure5
 from .figure6 import Figure6
 from .figure7 import Figure7
+from .fleet import Fleet
 from .table1 import Table1
 
 __all__ = ["EXPERIMENTS", "get_experiment", "experiment_ids"]
@@ -26,6 +27,7 @@ _CLASSES: List[Type[Experiment]] = [
     Figure6,
     Table1,
     Figure7,
+    Fleet,
 ]
 
 EXPERIMENTS: Dict[str, Type[Experiment]] = {cls.id: cls for cls in _CLASSES}

@@ -33,9 +33,10 @@ class Host:
     ):
         self.sim = sim
         self.name = name
+        self.net = net
         self.costs = costs or CpuCosts()
         self.cpus = CpuSet(sim, ncpus, name=f"{name}-cpu")
-        self.port = switch.attach(name, net)
+        self.port = switch.attach(self, net)
         self.port.on_fragment = self._rx_fragment
         self.udp = UdpStack(self)
         self.rx_fragments = 0

@@ -47,6 +47,12 @@ class Link:
         self._busy_until = 0
         self.frames_sent = 0
         self.bytes_sent = 0
+        #: Output-port contention accounting: time frames spent queued
+        #: behind earlier frames on this link (ns, cumulative and peak).
+        #: On a server's downlink this is the multi-client contention
+        #: the Topology fairness reports read.
+        self.total_queue_ns = 0
+        self.peak_queue_ns = 0
         #: Pluggable per-frame fault hook (``on_frame(bytes) -> [delay...]``).
         self.fault: Optional[Any] = None
         self.frames_dropped = 0
@@ -71,6 +77,11 @@ class Link:
         if wire_bytes <= 0:
             raise ConfigError(f"{self.name}: empty frame")
         start = max(self._sim.now, self._busy_until)
+        queued = start - self._sim.now
+        if queued > 0:
+            self.total_queue_ns += queued
+            if queued > self.peak_queue_ns:
+                self.peak_queue_ns = queued
         done_sending = start + transfer_time(wire_bytes, self.bandwidth)
         self._busy_until = done_sending
         arrival = done_sending + self.latency_ns

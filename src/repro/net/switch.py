@@ -1,15 +1,24 @@
-"""Store-and-forward Ethernet switch with named ports.
+"""Store-and-forward Ethernet switch with an explicit port registry.
 
-Each attached host gets a full-duplex pair of links (host→switch and
-switch→host).  Datagrams are fragmented at the sender per the path MTU,
-forwarded fragment-by-fragment, and reassembled at the destination port
-(kernel IP reassembly); the receiving host is notified per fragment so
-it can charge interrupt costs.
+Each attached host gets a numbered :class:`Port` — a full-duplex pair of
+links (host→switch and switch→host) plus a reassembly buffer.  Ports are
+handed out by :meth:`Switch.attach` and recorded in a registry keyed by
+the attached host's name; attaching a second host under an
+already-registered name is a hard :class:`~repro.errors.ConfigError`,
+because with implicit name-keyed wiring the second client would silently
+shadow the first one's frames.
+
+Datagrams are fragmented at the sender per the path MTU, forwarded
+fragment-by-fragment, and reassembled at the destination port (kernel IP
+reassembly); the receiving host is notified per fragment so it can
+charge interrupt costs.  A port's *downlink* is the switch's output port
+toward that host: frames from every sender serialise through it, which
+is where multi-client contention for a server physically happens.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..config import NetConfig
 from ..errors import ConfigError
@@ -25,11 +34,23 @@ __all__ = ["Switch", "Port"]
 class Port:
     """A host's attachment point: two links and a reassembly buffer."""
 
-    def __init__(self, switch: "Switch", name: str, net: NetConfig):
+    def __init__(
+        self,
+        switch: "Switch",
+        name: str,
+        net: NetConfig,
+        port_id: int = 0,
+        owner: Optional[Any] = None,
+    ):
         sim = switch._sim
         self.switch = switch
         self.name = name
         self.net = net
+        #: Position in the switch's registry (attachment order).
+        self.port_id = port_id
+        #: The attached :class:`~repro.net.host.Host`, when attached via
+        #: a host object rather than a bare name.
+        self.owner = owner
         self.uplink = Link(sim, net.bandwidth_bytes_per_sec, net.latency_ns, f"{name}-up")
         self.downlink = Link(
             sim, net.bandwidth_bytes_per_sec, net.latency_ns, f"{name}-down"
@@ -74,7 +95,7 @@ class Port:
 
 
 class Switch:
-    """Connects named ports; forwards fragments by destination host name.
+    """Connects registered ports; forwards fragments to the destination port.
 
     Fault injection: ports attached with a non-zero
     ``NetConfig.loss_probability`` have fragments dropped at forward
@@ -84,17 +105,43 @@ class Switch:
     def __init__(self, sim: Simulator, name: str = "switch", seed: int = 0):
         self._sim = sim
         self.name = name
+        #: The port registry: attachment-ordered list plus a routing
+        #: index by host name.  Both always agree; the list is the
+        #: authoritative record of what is plugged into the switch.
+        self._registry: List[Port] = []
         self._ports: Dict[str, Port] = {}
         self._dgram_seq = 0
         self._rng = RngStreams(seed).stream(f"{name}-loss")
         self.fragments_dropped = 0
         self.obs = DISABLED
 
-    def attach(self, host_name: str, net: NetConfig) -> Port:
-        if host_name in self._ports:
-            raise ConfigError(f"{self.name}: host {host_name!r} already attached")
-        port = Port(self, host_name, net)
-        self._ports[host_name] = port
+    def attach(self, host: Union[str, Any], net: Optional[NetConfig] = None) -> Port:
+        """Register a host and hand it its own :class:`Port`.
+
+        ``host`` is normally a :class:`~repro.net.host.Host` (the port
+        records it as ``owner``); a bare name is accepted for tests that
+        wire raw ports.  ``net`` defaults to the host's own NetConfig
+        when attaching a host object.  Attaching a second host under an
+        existing name raises — duplicate names would let one client
+        silently shadow another's frames.
+        """
+        if isinstance(host, str):
+            name, owner = host, None
+        else:
+            name, owner = host.name, host
+            net = net if net is not None else getattr(host, "net", None)
+        if net is None:
+            raise ConfigError(f"{self.name}: no NetConfig for host {name!r}")
+        existing = self._ports.get(name)
+        if existing is not None:
+            raise ConfigError(
+                f"{self.name}: host {name!r} already attached (port "
+                f"{existing.port_id}) — a second attachment would shadow "
+                "its frames; give each client a unique name"
+            )
+        port = Port(self, name, net, port_id=len(self._registry), owner=owner)
+        self._registry.append(port)
+        self._ports[name] = port
         return port
 
     def port(self, host_name: str) -> Port:
@@ -103,9 +150,12 @@ class Switch:
         except KeyError:
             raise ConfigError(f"{self.name}: unknown host {host_name!r}") from None
 
-    def ports(self):
-        """All attached ports, in deterministic (sorted-name) order."""
-        return [self._ports[name] for name in sorted(self._ports)]
+    def ports(self) -> List[Port]:
+        """All registered ports, in attachment (port-id) order."""
+        return list(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
 
     def install_fault(self, host_name: str, uplink=None, downlink=None) -> Port:
         """Attach per-direction link faults to a host's port.

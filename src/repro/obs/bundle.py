@@ -36,6 +36,8 @@ TRACE_POINTS: Dict[str, Tuple[Dict[str, object], int]] = {
     "fig6": ({"target": "netapp", "client": "nolock"}, 8 * MIB),
     "tab1": ({"target": "linux", "client": "stock"}, 4 * MIB),
     "fig7": ({"target": "linux", "client": "enhanced"}, 4 * MIB),
+    # Multi-client trace point: kwargs carry "clients" and run a fleet.
+    "fleet": ({"clients": 4, "target": "netapp"}, 1 * MIB),
 }
 
 
@@ -59,6 +61,22 @@ def run_traced(name: str, seed: int = 1):
         from ..bench.runner import TestBed
 
         kwargs, file_bytes = TRACE_POINTS[name]
+        if "clients" in kwargs:
+            from ..topology import FleetWorkload, ServerSpec, Topology
+
+            with observed() as session:
+                topo = Topology(
+                    clients=kwargs["clients"],
+                    servers=(ServerSpec(kwargs["target"]),),
+                )
+                fleet = FleetWorkload(topo, file_bytes).run()
+            for stack in topo.clients:
+                # Through the scoped view: lock stats land under
+                # "client{i}/bkl".
+                stack.obs.harvest_lock(stack.nfs.bkl)
+            obs = session.observabilities[0]
+            obs.latency_trace = fleet.clients[0].result.trace
+            return session.observabilities, fleet.clients[0].result, None
         with observed() as session:
             bed = TestBed(profile=True, **kwargs)
             result = bed.run_sequential_write(file_bytes)

@@ -34,6 +34,7 @@ from .metrics import MetricsRegistry
 
 __all__ = [
     "Observability",
+    "ScopedObservability",
     "DISABLED",
     "ObsSession",
     "observed",
@@ -186,6 +187,96 @@ class Observability:
 DISABLED = Observability()
 
 
+class ScopedObservability:
+    """A client-scoped view of one :class:`Observability`.
+
+    Multi-client topologies share a single observer per simulation (the
+    span tree crosses clients at the switch and the server), but each
+    client stack's components see a scoped facade: metric keys gain a
+    ``<client>/`` prefix and every span carries a ``client`` attribute —
+    the client-id dimension of fleet metrics.  All recording delegates
+    to the root, so span ids stay globally unique and causal edges
+    across clients resolve in one tree.
+    """
+
+    __slots__ = ("root", "client", "_prefix")
+
+    def __init__(self, root: Observability, client: str):
+        self.root = root
+        self.client = client
+        self._prefix = f"{client}/"
+
+    @property
+    def enabled(self) -> bool:
+        return self.root.enabled
+
+    @property
+    def sim(self):
+        return self.root.sim
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.root.metrics
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self.root.tracer
+
+    # -- metrics (key-prefixed) ---------------------------------------------
+
+    def count(self, key: str, n: int = 1) -> None:
+        self.root.count(self._prefix + key, n)
+
+    def gauge(self, key: str, value) -> None:
+        self.root.gauge(self._prefix + key, value)
+
+    def observe(self, key: str, value, bounds=None) -> None:
+        self.root.observe(self._prefix + key, value, bounds)
+
+    def sample(self, component: str, name: str, value) -> None:
+        self.root.sample(component, self._prefix + name, value)
+
+    # -- spans (client-attributed, globally numbered) ------------------------
+
+    def span_begin(
+        self,
+        component: str,
+        name: str,
+        parent: int = 0,
+        ts: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        if not self.root.enabled:
+            return 0
+        return self.root.span_begin(
+            component, name, parent=parent, ts=ts, client=self.client, **attrs
+        )
+
+    def span_end(self, span_id: int, ts: Optional[int] = None, **attrs: Any) -> None:
+        self.root.span_end(span_id, ts=ts, **attrs)
+
+    def span_point(
+        self, component: str, name: str, parent: int = 0, **attrs: Any
+    ) -> int:
+        sid = self.span_begin(component, name, parent=parent, **attrs)
+        self.span_end(sid)
+        return sid
+
+    # -- per-task syscall context (shared with the root) ---------------------
+
+    def task_span(self) -> int:
+        return self.root.task_span()
+
+    def set_task_span(self, span_id: int) -> None:
+        self.root.set_task_span(span_id)
+
+    def clear_task_span(self) -> None:
+        self.root.clear_task_span()
+
+    def harvest_lock(self, lock, component: str = "bkl") -> None:
+        self.root.harvest_lock(lock, component=self._prefix + component)
+
+
 class ObsSession:
     """Collects the observers of every TestBed built while active."""
 
@@ -245,6 +336,51 @@ def attach_if_active(bed, observe: bool = False) -> Observability:
         capacity=session.capacity if session is not None else DEFAULT_CAPACITY,
     )
     attach(bed, obs)
+    if session is not None:
+        session.observabilities.append(obs)
+    return obs
+
+
+def attach_topology(topology, obs: Observability) -> None:
+    """Point every component of an assembled Topology at ``obs``.
+
+    Single-client topologies attach the root observer directly (metric
+    keys identical to the historical ``TestBed`` surface); fleets give
+    each client stack a :class:`ScopedObservability` keyed by its host
+    name, adding the client-id dimension without splitting the span
+    tree.
+    """
+    switch = topology.switch
+    switch.obs = obs
+    for port in switch.ports():
+        port.uplink.obs = obs
+        port.downlink.obs = obs
+    for server in topology.servers:
+        if server is not None:
+            server.obs = obs
+            server.rpc.obs = obs
+    scoped = len(topology.clients) > 1
+    for stack in topology.clients:
+        view = ScopedObservability(obs, stack.name) if scoped else obs
+        stack.obs = view
+        stack.syscalls.obs = view
+        stack.pagecache.obs = view
+        if stack.nfs is not None:
+            stack.nfs.obs = view
+            stack.nfs.xprt.obs = view
+
+
+def attach_topology_if_active(topology, observe: bool = False) -> Observability:
+    """Called by ``Topology.__init__``; mirrors :func:`attach_if_active`."""
+    session = _session
+    if not observe and session is None:
+        return DISABLED
+    obs = Observability(
+        topology.sim,
+        enabled=True,
+        capacity=session.capacity if session is not None else DEFAULT_CAPACITY,
+    )
+    attach_topology(topology, obs)
     if session is not None:
         session.observabilities.append(obs)
     return obs

@@ -34,7 +34,15 @@ from ..config import (
 from ..errors import ConfigError
 from ..units import throughput, to_mbps
 
-__all__ = ["JobSpec", "PointResult", "run_job", "SweepExecutor", "default_jobs"]
+__all__ = [
+    "JobSpec",
+    "PointResult",
+    "run_job",
+    "SweepExecutor",
+    "default_jobs",
+    "register_job_type",
+    "result_from_payload",
+]
 
 
 def default_jobs() -> int:
@@ -118,22 +126,83 @@ class PointResult:
         return cls(**payload)
 
 
-def run_job(spec: JobSpec) -> PointResult:
-    """Build one pristine test bed, run the point, reduce the result.
+# Additional sweepable job types (spec class -> runner), registered by
+# the modules that define them — e.g. importing ``repro.topology.fleet``
+# registers FleetJobSpec.  Workers re-register automatically: unpickling
+# a registered spec imports its defining module.
+_JOB_RUNNERS: Dict[type, Any] = {}
+_PAYLOAD_KINDS: Dict[str, Any] = {}
+
+
+def register_job_type(spec_type, runner, payload_kind, loader) -> None:
+    """Teach the executor a new sweep point type.
+
+    ``runner(spec)`` executes one point; cached payloads carrying
+    ``{"__kind__": payload_kind}`` are revived through ``loader``.
+    """
+    _JOB_RUNNERS[spec_type] = runner
+    _PAYLOAD_KINDS[payload_kind] = loader
+
+
+def result_from_payload(payload: Dict[str, Any]):
+    """Revive a cached result of any registered kind.
+
+    Payloads without a ``__kind__`` marker are classic
+    :class:`PointResult` rows — the cache format predating multi-kind
+    sweeps is read unchanged.
+    """
+    kind = payload.get("__kind__", "point")
+    if kind == "point":
+        return PointResult.from_payload(payload)
+    try:
+        loader = _PAYLOAD_KINDS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"cached result has unknown kind {kind!r}; import the module "
+            "that registers it before reading the cache"
+        ) from None
+    return loader(payload)
+
+
+def run_job(spec) -> Any:
+    """Run one sweep point in a pristine world, reduce the result.
 
     Module-level so process-pool workers can unpickle a reference to it.
+    Dispatches on the spec's type: classic :class:`JobSpec` points build
+    a single-client test bed; registered types (fleet points, ...) run
+    through their registered runner.
     """
-    from ..bench.runner import TestBed
+    runner = _JOB_RUNNERS.get(type(spec))
+    if runner is not None:
+        return runner(spec)
+    if not isinstance(spec, JobSpec):
+        raise ConfigError(
+            f"unknown job spec type {type(spec).__name__}; import the "
+            "module that registers it before running sweeps"
+        )
+    import dataclasses
 
+    from ..bench.runner import TestBed
+    from ..topology.spec import ServerSpec
+
+    server = ServerSpec.from_legacy(
+        spec.target,
+        filer_config=spec.filer_config,
+        linux_config=spec.linux_config,
+        local_config=spec.local_config,
+    )
+    # Legacy semantics: a custom client net (e.g. injected loss) also
+    # applies to the server's switch port, except linux-100's fixed
+    # fast Ethernet.
+    if spec.net is not None and server.kind in ("netapp", "linux"):
+        server = dataclasses.replace(server, net=spec.net)
     bed = TestBed(
         target=spec.target,
         client=spec.client,
         hw=spec.hw,
         net=spec.net,
         mount=spec.mount,
-        filer_config=spec.filer_config,
-        linux_config=spec.linux_config,
-        local_config=spec.local_config,
+        server=server,
     )
     result = bed.run_sequential_write(
         spec.file_bytes,
@@ -168,10 +237,10 @@ class SweepExecutor:
         self.jobs = jobs
         self.cache = cache
 
-    def map(self, specs: Iterable[JobSpec]) -> List[PointResult]:
+    def map(self, specs: Iterable[Any]) -> List[Any]:
         """Execute every spec; returns results in the given order."""
-        spec_list: List[JobSpec] = list(specs)
-        results: List[Optional[PointResult]] = [None] * len(spec_list)
+        spec_list: List[Any] = list(specs)
+        results: List[Optional[Any]] = [None] * len(spec_list)
         misses: List[int] = []
         keys: Dict[int, str] = {}
 
@@ -180,7 +249,7 @@ class SweepExecutor:
                 keys[i] = spec.fingerprint()
                 payload = self.cache.get(keys[i])
                 if payload is not None:
-                    results[i] = PointResult.from_payload(payload)
+                    results[i] = result_from_payload(payload)
                 else:
                     misses.append(i)
         else:
@@ -193,7 +262,7 @@ class SweepExecutor:
 
         return results  # type: ignore[return-value]  # every slot is filled
 
-    def _execute(self, specs: Sequence[JobSpec]) -> List[PointResult]:
+    def _execute(self, specs: Sequence[Any]) -> List[Any]:
         if self.jobs == 1 or len(specs) <= 1:
             return [run_job(spec) for spec in specs]
         workers = min(self.jobs, len(specs))

@@ -9,7 +9,7 @@ WRITEs are not idempotent against a moving file size.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Generator, Tuple
+from typing import Callable, Dict, Generator, Tuple
 
 from ..errors import JukeboxError
 from ..net.host import Host
@@ -43,6 +43,12 @@ class RpcServer:
         self.name = name
         self._threads = Semaphore(host.sim, nthreads, name=f"{name}-threads")
         self.requests_handled = 0
+        #: Per-source fairness accounting: served requests and request
+        #: wire bytes by client host name (insertion-ordered; report
+        #: paths sort the keys).  Pure bookkeeping — never iterated on
+        #: the hot path.
+        self.requests_by_src: Dict[str, int] = {}
+        self.bytes_by_src: Dict[str, int] = {}
         self.drc_hits = 0
         self.errors = 0
         self.jukebox_replies = 0
@@ -125,6 +131,8 @@ class RpcServer:
         else:
             self._drc.pop(key, None)
         self.requests_handled += 1
+        self.requests_by_src[src] = self.requests_by_src.get(src, 0) + 1
+        self.bytes_by_src[src] = self.bytes_by_src.get(src, 0) + call.size
         self.sock.sendto(src, src_port, reply, reply.size)
 
     def _remember(self, key, value) -> None:

@@ -163,6 +163,19 @@ class NfsServerBase:
 
     # -- ingest station ------------------------------------------------------
 
+    def ingest_shares(self) -> Dict[str, float]:
+        """Fraction of served request wire bytes per client host.
+
+        The FIFO ingest station has no scheduler, so fairness between
+        clients is emergent; this is the accounting multi-client
+        topology reports audit.  Keys are sorted for determinism.
+        """
+        by_src = self.rpc.bytes_by_src
+        total = sum(by_src.values())
+        if not total:
+            return {}
+        return {src: by_src[src] / total for src in sorted(by_src)}
+
     def _ingest(self, nbytes: int):
         """Generator: FIFO service at the server's sustained byte rate."""
         yield self._ingest_lock.acquire()

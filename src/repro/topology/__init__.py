@@ -1,0 +1,37 @@
+"""Composable multi-client cluster topologies.
+
+Declarative specs (:class:`ClientSpec`, :class:`ServerSpec`,
+:class:`SwitchSpec`) materialised into N independent client stacks and
+M servers sharing one switch (:class:`Topology`), plus fleet workloads
+that drive every client concurrently and report per-client and
+aggregate throughput, p99 latency, and Jain's fairness index
+(:class:`FleetWorkload`).  See ``docs/scale.md``.
+"""
+
+from .build import ClientStack, Topology
+from .fleet import (
+    FleetClientResult,
+    FleetJobSpec,
+    FleetPointResult,
+    FleetResult,
+    FleetWorkload,
+    reduce_fleet,
+    run_fleet_job,
+)
+from .spec import SERVER_KINDS, ClientSpec, ServerSpec, SwitchSpec
+
+__all__ = [
+    "Topology",
+    "ClientStack",
+    "ClientSpec",
+    "ServerSpec",
+    "SwitchSpec",
+    "SERVER_KINDS",
+    "FleetWorkload",
+    "FleetResult",
+    "FleetClientResult",
+    "FleetJobSpec",
+    "FleetPointResult",
+    "reduce_fleet",
+    "run_fleet_job",
+]

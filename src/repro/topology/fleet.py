@@ -1,0 +1,393 @@
+"""Fleet workloads: N concurrent sequential writers on one Topology.
+
+:class:`FleetWorkload` runs every client of a topology through the
+paper's sequential-write benchmark *simultaneously* — optionally with
+staggered starts and per-client write sizes — and reduces the outcome
+to per-client and aggregate figures: individual throughput and p99
+write latency, aggregate throughput over the contended window, Jain's
+fairness index across clients, and the servers' per-source ingest
+shares plus output-port queueing.
+
+The sweep-facing half mirrors :mod:`repro.parallel.executor`:
+:class:`FleetJobSpec` is a picklable value object describing one fleet
+point, :func:`run_fleet_job` materialises and runs it, and
+:class:`FleetPointResult` survives pickling and the JSON result cache.
+Importing this module registers the pair with the executor, so
+``SweepExecutor.map`` fans fleet points out over processes — and caches
+them — exactly like single-client points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..analysis.stats import jain_index
+from ..bench.bonnie import BenchmarkResult, SequentialWriteBenchmark
+from ..cache import fingerprint
+from ..errors import ConfigError
+from ..units import throughput, to_mbps, to_us
+from .build import Topology
+from .spec import ClientSpec, ServerSpec, SwitchSpec
+
+__all__ = [
+    "FleetWorkload",
+    "FleetClientResult",
+    "FleetResult",
+    "FleetJobSpec",
+    "FleetPointResult",
+    "reduce_fleet",
+    "run_fleet_job",
+]
+
+
+@dataclass
+class FleetClientResult:
+    """One client's run inside a fleet: absolute window + benchmark."""
+
+    name: str
+    #: Simulated time this client's benchmark actually began (after any
+    #: staggered-start offset) and finished.
+    start_ns: int
+    end_ns: int
+    result: BenchmarkResult
+
+    @property
+    def write_throughput(self) -> float:
+        return self.result.write_throughput
+
+    @property
+    def write_mbps(self) -> float:
+        return self.result.write_mbps
+
+    @property
+    def close_mbps(self) -> float:
+        return self.result.close_mbps
+
+    @property
+    def p99_ns(self) -> int:
+        return self.result.trace.percentile_ns(99)
+
+
+@dataclass
+class FleetResult:
+    """Per-client results plus fleet-level fairness accounting."""
+
+    clients: List[FleetClientResult]
+    #: Simulator callbacks dispatched for the whole fleet run.
+    events_processed: int
+    #: Per-server accounting rows (name, bytes, shares, port queueing),
+    #: in server order.
+    servers: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.result.file_bytes for c in self.clients)
+
+    @property
+    def span_ns(self) -> int:
+        """First benchmark start to last benchmark finish."""
+        if not self.clients:
+            return 0
+        return max(c.end_ns for c in self.clients) - min(
+            c.start_ns for c in self.clients
+        )
+
+    @property
+    def aggregate_bytes_per_sec(self) -> float:
+        """Fleet throughput over the whole contended window."""
+        return throughput(self.total_bytes, self.span_ns)
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return to_mbps(self.aggregate_bytes_per_sec)
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over per-client write throughput."""
+        return jain_index([c.write_throughput for c in self.clients])
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.clients)} client(s): aggregate "
+            f"{self.aggregate_mbps:.1f} MBps, Jain {self.fairness:.3f}"
+        )
+
+
+class FleetWorkload:
+    """N concurrent sequential writers, one per topology client.
+
+    ``stagger_ns`` adds ``index * stagger_ns`` to each client's start
+    on top of its spec's own ``start_offset_ns``; a client spec's
+    ``chunk_bytes`` (when non-zero) overrides the fleet-wide chunk size,
+    giving mixed-write-size fleets.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        file_bytes: int,
+        chunk_bytes: int = 8192,
+        do_fsync: bool = True,
+        stagger_ns: int = 0,
+    ):
+        if file_bytes <= 0:
+            raise ConfigError("file_bytes must be positive")
+        if stagger_ns < 0:
+            raise ConfigError("stagger_ns must be >= 0")
+        self.topology = topology
+        self.file_bytes = file_bytes
+        self.chunk_bytes = chunk_bytes
+        self.do_fsync = do_fsync
+        self.stagger_ns = stagger_ns
+
+    def _body(self, stack, offset_ns: int, chunk_bytes: int):
+        sim = self.topology.sim
+        if offset_ns > 0:
+            yield sim.timeout(offset_ns)
+        bench = SequentialWriteBenchmark(
+            stack.syscalls, chunk_bytes=chunk_bytes, do_fsync=self.do_fsync
+        )
+        start = sim.now
+        file = yield from stack.open_file(f"{stack.name}-file")
+        result = yield from bench.run(file, self.file_bytes)
+        return (start, sim.now, result)
+
+    def run(self, time_limit_ns: Optional[int] = None) -> FleetResult:
+        """Run every client to completion (blocking); returns the fleet."""
+        topo = self.topology
+        sim = topo.sim
+        tasks = []
+        for stack in topo.clients:
+            offset = stack.spec.start_offset_ns + stack.index * self.stagger_ns
+            chunk = stack.spec.chunk_bytes or self.chunk_bytes
+            tasks.append(
+                sim.spawn(
+                    self._body(stack, offset, chunk),
+                    name=f"benchmark-{stack.name}",
+                    daemon=True,
+                )
+            )
+        sim.run_until(lambda: all(t.done for t in tasks), limit=time_limit_ns)
+        stragglers = [
+            stack.name for stack, t in zip(topo.clients, tasks) if not t.done
+        ]
+        if stragglers:
+            raise ConfigError(
+                f"fleet benchmark did not finish on {', '.join(stragglers)}; "
+                "simulation wedged?"
+            )
+        for task in tasks:
+            if task.error is not None:
+                raise task.error
+        for stack in topo.clients:
+            if stack.profiler is not None:
+                stack.profiler.stop()
+        clients = [
+            FleetClientResult(stack.name, *task.result)
+            for stack, task in zip(topo.clients, tasks)
+        ]
+        return FleetResult(
+            clients=clients,
+            events_processed=sim.events_processed,
+            servers=_server_rows(topo),
+        )
+
+
+def _server_rows(topo: Topology) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for server in topo.servers:
+        if server is None:
+            continue
+        downlink = topo.switch.port(server.name).downlink
+        rows.append(
+            {
+                "name": server.name,
+                "bytes_received": server.bytes_received,
+                "writes_handled": server.writes_handled,
+                "commits_handled": server.commits_handled,
+                "ingest_shares": server.ingest_shares(),
+                "downlink_queue_ns": downlink.total_queue_ns,
+                "downlink_peak_queue_ns": downlink.peak_queue_ns,
+            }
+        )
+    return rows
+
+
+# -- sweep integration --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetJobSpec:
+    """One fleet sweep point, expressed entirely as picklable specs."""
+
+    clients: Sequence[ClientSpec]
+    servers: Sequence[ServerSpec] = (ServerSpec(),)
+    switch: SwitchSpec = SwitchSpec()
+    file_bytes: int = 1 << 20
+    chunk_bytes: int = 8192
+    do_fsync: bool = True
+    stagger_ns: int = 0
+    time_limit_ns: Optional[int] = None
+
+    @staticmethod
+    def homogeneous(
+        count: int,
+        target: str = "netapp",
+        client: Union[str, Any] = "stock",
+        file_bytes: int = 1 << 20,
+        **kwargs: Any,
+    ) -> "FleetJobSpec":
+        """``count`` identical clients against one default server."""
+        return FleetJobSpec(
+            clients=ClientSpec(client=client).replicate(count),
+            servers=(ServerSpec(kind=target),),
+            file_bytes=file_bytes,
+            **kwargs,
+        )
+
+    def fingerprint(self, version: Optional[str] = None) -> str:
+        return fingerprint(self, version=version)
+
+
+@dataclass
+class FleetPointResult:
+    """The reduced outcome of one :class:`FleetJobSpec`.
+
+    Carries per-client timing triples, p99s, and a checksum of each
+    latency trace (not the full series — a 32-client point would drag
+    hundreds of thousands of integers through the cache), plus the
+    fleet aggregates and per-server fairness rows.
+    """
+
+    clients: List[Dict[str, Any]]
+    servers: List[Dict[str, Any]]
+    events_processed: int
+
+    PAYLOAD_KIND = "fleet"
+
+    @property
+    def count(self) -> int:
+        return len(self.clients)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c["file_bytes"] for c in self.clients)
+
+    @property
+    def span_ns(self) -> int:
+        if not self.clients:
+            return 0
+        return max(c["end_ns"] for c in self.clients) - min(
+            c["start_ns"] for c in self.clients
+        )
+
+    @property
+    def aggregate_bytes_per_sec(self) -> float:
+        return throughput(self.total_bytes, self.span_ns)
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return to_mbps(self.aggregate_bytes_per_sec)
+
+    @property
+    def fairness(self) -> float:
+        return jain_index(
+            [
+                throughput(c["file_bytes"], c["write_elapsed_ns"])
+                for c in self.clients
+            ]
+        )
+
+    def client_mbps(self) -> List[float]:
+        return [
+            to_mbps(throughput(c["file_bytes"], c["write_elapsed_ns"]))
+            for c in self.clients
+        ]
+
+    def client_p99_us(self) -> List[float]:
+        return [to_us(c["p99_ns"]) for c in self.clients]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "__kind__": self.PAYLOAD_KIND,
+            "clients": self.clients,
+            "servers": self.servers,
+            "events_processed": self.events_processed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FleetPointResult":
+        return cls(
+            clients=payload["clients"],
+            servers=payload["servers"],
+            events_processed=payload["events_processed"],
+        )
+
+    def run_fingerprint(self) -> str:
+        """Content hash of the whole outcome — two runs of the same spec
+        must produce the same digest (the determinism contract)."""
+        blob = json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _trace_sha(result: BenchmarkResult) -> str:
+    blob = ",".join(str(v) for v in result.trace.latencies_ns)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def reduce_fleet(fleet: FleetResult) -> FleetPointResult:
+    """Reduce a live :class:`FleetResult` to its cacheable point form."""
+    clients = [
+        {
+            "name": c.name,
+            "file_bytes": c.result.file_bytes,
+            "chunk_bytes": c.result.chunk_bytes,
+            "start_ns": c.start_ns,
+            "end_ns": c.end_ns,
+            "write_elapsed_ns": c.result.write_elapsed_ns,
+            "flush_elapsed_ns": c.result.flush_elapsed_ns,
+            "close_elapsed_ns": c.result.close_elapsed_ns,
+            "p99_ns": c.p99_ns,
+            "calls": len(c.result.trace),
+            "trace_sha": _trace_sha(c.result),
+        }
+        for c in fleet.clients
+    ]
+    return FleetPointResult(
+        clients=clients,
+        servers=fleet.servers,
+        events_processed=fleet.events_processed,
+    )
+
+
+def run_fleet_job(spec: FleetJobSpec) -> FleetPointResult:
+    """Build one pristine topology, run the fleet, reduce the result.
+
+    Module-level so process-pool workers can unpickle a reference to it.
+    """
+    topo = Topology(
+        clients=spec.clients, servers=spec.servers, switch=spec.switch
+    )
+    workload = FleetWorkload(
+        topo,
+        spec.file_bytes,
+        chunk_bytes=spec.chunk_bytes,
+        do_fsync=spec.do_fsync,
+        stagger_ns=spec.stagger_ns,
+    )
+    return reduce_fleet(workload.run(time_limit_ns=spec.time_limit_ns))
+
+
+# Register with the sweep executor: FleetJobSpec points fan out and
+# cache exactly like single-client JobSpecs.
+from ..parallel.executor import register_job_type  # noqa: E402
+
+register_job_type(
+    FleetJobSpec,
+    run_fleet_job,
+    FleetPointResult.PAYLOAD_KIND,
+    FleetPointResult.from_payload,
+)

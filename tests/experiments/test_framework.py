@@ -11,7 +11,9 @@ from repro.experiments.cli import build_parser, run_experiments
 
 def test_registry_covers_every_paper_artifact():
     ids = experiment_ids()
-    assert ids == ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "fig7"]
+    assert ids == [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "fig7", "fleet",
+    ]
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
         assert experiment.id == experiment_id

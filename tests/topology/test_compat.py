@@ -1,0 +1,101 @@
+"""TestBed is a shim over a 1-client Topology — same surface, same bits."""
+
+import pytest
+
+from repro.bench import TestBed
+from repro.config import FilerConfig, LinuxServerConfig, NetConfig
+from repro.errors import ConfigError
+from repro.topology import ServerSpec, Topology
+from repro.units import KIB
+
+
+def _result_tuple(result):
+    return (
+        result.write_elapsed_ns,
+        result.flush_elapsed_ns,
+        result.close_elapsed_ns,
+        tuple(result.trace.latencies_ns),
+    )
+
+
+def test_testbed_exposes_historical_surface():
+    bed = TestBed(target="netapp")
+    for attr in (
+        "target",
+        "hw",
+        "net",
+        "mount",
+        "client_config",
+        "sim",
+        "switch",
+        "client_host",
+        "pagecache",
+        "server",
+        "nfs",
+        "ext2",
+        "syscalls",
+        "profiler",
+        "sanitizer",
+        "obs",
+    ):
+        assert hasattr(bed, attr), attr
+    assert bed.target == "netapp"
+    assert bed.nfs is not None and bed.ext2 is None
+    assert bed.client_host.name == "client"
+
+
+def test_testbed_accepts_server_spec():
+    filer = FilerConfig(nvram_bytes=2 * 1024 * 1024)
+    bed = TestBed(server=ServerSpec("netapp", filer))
+    assert bed.server.config is filer
+    assert bed.target == "netapp"
+
+
+def test_server_and_legacy_kwargs_conflict():
+    with pytest.raises(ConfigError, match="not both"):
+        TestBed(server=ServerSpec("netapp"), filer_config=FilerConfig())
+
+
+def test_target_must_agree_with_server_kind():
+    with pytest.raises(ConfigError, match="contradicts"):
+        TestBed(target="linux", server=ServerSpec("netapp"))
+    # Matching target is fine.
+    assert TestBed(target="linux", server=ServerSpec("linux")).target == "linux"
+
+
+def test_server_must_be_a_server_spec():
+    with pytest.raises(ConfigError, match="must be a ServerSpec"):
+        TestBed(server=FilerConfig())
+
+
+def test_legacy_kwargs_warn_but_work():
+    with pytest.warns(DeprecationWarning, match="ServerSpec"):
+        bed = TestBed(target="linux", linux_config=LinuxServerConfig())
+    assert bed.target == "linux"
+
+
+def test_mismatched_legacy_kwarg_is_an_error():
+    # The old TestBed silently ignored a filer_config on a linux target.
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ConfigError, match="ignored by target"):
+            TestBed(target="linux", filer_config=FilerConfig())
+
+
+def test_testbed_bit_identical_to_one_client_topology():
+    for target in ("netapp", "linux", "local"):
+        bed = TestBed(target=target)
+        via_shim = _result_tuple(bed.run_sequential_write(256 * KIB))
+        topo = Topology(clients=1, servers=(ServerSpec(target),))
+        direct = _result_tuple(topo.run_sequential_write(256 * KIB))
+        assert via_shim == direct, target
+
+
+def test_legacy_net_inheritance_reaches_the_server():
+    # Historical behaviour: the server's port shared the client's
+    # NetConfig; a slow client link slows the server's downlink too.
+    slow = NetConfig.fast_ethernet()
+    bed = TestBed(target="netapp", net=slow)
+    assert bed.switch.port(bed.server.name).net == slow
+    # But an explicit ServerSpec keeps its own default link.
+    bed2 = TestBed(net=slow, server=ServerSpec("netapp"))
+    assert bed2.switch.port(bed2.server.name).net != slow

@@ -1,0 +1,83 @@
+"""Spec validation: kinds, config matching, legacy conversion."""
+
+import pytest
+
+from repro.config import FilerConfig, LinuxServerConfig, LocalFsConfig
+from repro.errors import ConfigError
+from repro.topology import SERVER_KINDS, ClientSpec, ServerSpec
+
+
+def test_server_kinds_match_testbed():
+    from repro.bench import SERVER_KINDS as BENCH_KINDS
+
+    assert SERVER_KINDS == BENCH_KINDS == ("netapp", "linux", "linux-100", "local")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigError, match="unknown server kind"):
+        ServerSpec(kind="solaris")
+
+
+@pytest.mark.parametrize(
+    "kind,good,bad",
+    [
+        ("netapp", FilerConfig(), LinuxServerConfig()),
+        ("linux", LinuxServerConfig(), FilerConfig()),
+        ("linux-100", LinuxServerConfig(), LocalFsConfig()),
+        ("local", LocalFsConfig(), FilerConfig()),
+    ],
+)
+def test_config_type_must_match_kind(kind, good, bad):
+    assert ServerSpec(kind, good).config is good
+    with pytest.raises(ConfigError, match="takes a"):
+        ServerSpec(kind, bad)
+
+
+def test_from_legacy_picks_the_matching_config():
+    filer = FilerConfig(nvram_bytes=4_000_000)
+    spec = ServerSpec.from_legacy("netapp", filer_config=filer)
+    assert spec.kind == "netapp" and spec.config is filer
+    linux = LinuxServerConfig(write_gathering=True)
+    assert ServerSpec.from_legacy("linux-100", linux_config=linux).config is linux
+    assert ServerSpec.from_legacy("linux").config is None
+
+
+def test_from_legacy_rejects_mismatched_kwarg():
+    # The old TestBed silently ignored these; now the error names the
+    # ServerSpec replacement.
+    with pytest.raises(ConfigError, match=r"server=ServerSpec\('linux'"):
+        ServerSpec.from_legacy("linux", filer_config=FilerConfig())
+    with pytest.raises(ConfigError, match="local_config is ignored"):
+        ServerSpec.from_legacy("netapp", local_config=LocalFsConfig())
+    with pytest.raises(ConfigError, match="unknown target"):
+        ServerSpec.from_legacy("ramdisk")
+
+
+def test_client_spec_validation():
+    with pytest.raises(ConfigError, match="server index"):
+        ClientSpec(server=-1)
+    with pytest.raises(ConfigError, match="start_offset_ns"):
+        ClientSpec(start_offset_ns=-1)
+    with pytest.raises(ConfigError, match="chunk_bytes"):
+        ClientSpec(chunk_bytes=-4096)
+
+
+def test_replicate_builds_homogeneous_fleets():
+    specs = ClientSpec(client="enhanced").replicate(5)
+    assert len(specs) == 5
+    assert all(s.client == "enhanced" for s in specs)
+    with pytest.raises(ConfigError, match="count"):
+        ClientSpec().replicate(0)
+
+
+def test_specs_are_picklable_and_fingerprintable():
+    import pickle
+
+    from repro.cache import fingerprint
+    from repro.topology import FleetJobSpec
+
+    spec = FleetJobSpec.homogeneous(3, target="linux", file_bytes=1 << 20)
+    assert pickle.loads(pickle.dumps(spec)) == spec
+    assert fingerprint(spec) == fingerprint(pickle.loads(pickle.dumps(spec)))
+    other = FleetJobSpec.homogeneous(4, target="linux", file_bytes=1 << 20)
+    assert fingerprint(spec) != fingerprint(other)
