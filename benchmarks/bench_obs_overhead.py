@@ -32,6 +32,22 @@ def _run(observe: bool):
     )
 
 
+def test_scoped_key_cache_reuses_interned_keys():
+    """Fleet-scoped facades must hit their key cache, not rebuild keys."""
+    from repro.obs.core import Observability, ScopedObservability
+    from repro.sim import Simulator
+
+    obs = Observability(Simulator(), enabled=True)
+    scoped = ScopedObservability(obs, "client3")
+    for _ in range(3):
+        scoped.count("rpc/retransmits")
+    ((key, metric),) = list(obs.metrics.items())
+    assert key == "client3/rpc/retransmits"
+    assert metric.value == 3
+    # The cached key IS the registered key object (no per-call copies).
+    assert scoped._keys["rpc/retransmits"] is key
+
+
 def test_obs_overhead(benchmark, capsys):
     bed, fp_off = benchmark.pedantic(
         lambda: _run(observe=False), rounds=3, iterations=1
@@ -51,6 +67,14 @@ def test_obs_overhead(benchmark, capsys):
     assert bed_on.obs.enabled and not bed.obs.enabled
     assert len(bed_on.obs.metrics) > 20
 
+    # Key interning: every registered metric key must be the interned
+    # (single-copy) string — scoped facades cache their prefixed keys,
+    # so per-call string building is gone from the instrument hot path.
+    import sys
+
+    for key, _metric in bed_on.obs.metrics.items():
+        assert key is sys.intern(key), f"metric key {key!r} not interned"
+
     overhead = on_elapsed / off_elapsed
     benchmark.extra_info["events"] = fp_off[0]
     benchmark.extra_info["events_per_second"] = round(fp_off[0] / off_elapsed)
@@ -59,5 +83,5 @@ def test_obs_overhead(benchmark, capsys):
         print(
             f"\nobs overhead: off {off_elapsed * 1e3:.0f} ms, "
             f"on {on_elapsed * 1e3:.0f} ms ({overhead:.2f}x), "
-            f"fingerprints identical"
+            f"fingerprints identical, {len(bed_on.obs.metrics)} interned keys"
         )

@@ -48,7 +48,12 @@ def percentile(values: Sequence[float], p: float) -> float:
     frac = rank - low
     if low + 1 >= len(ordered):
         return ordered[-1]
-    return ordered[low] * (1 - frac) + ordered[low + 1] * frac
+    lo_v, hi_v = ordered[low], ordered[low + 1]
+    if lo_v == hi_v:
+        return lo_v
+    # Clamp: rounding (e.g. denormal products snapping to 0) must never
+    # push the interpolant outside its bracketing interval.
+    return min(max(lo_v * (1 - frac) + hi_v * frac, lo_v), hi_v)
 
 
 def linear_slope(ys: Sequence[float]) -> float:

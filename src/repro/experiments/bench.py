@@ -1,0 +1,236 @@
+"""``repro-nfs bench``: the repo's performance lane, as one JSON row.
+
+Every PR in the perf trajectory appends a ``BENCH_<n>.json`` snapshot
+so speedups (and regressions) are numbers in the tree, not anecdotes.
+Four lanes, each measuring a layer the sweeps actually stress:
+
+* **sim_core** — events/sec through the event loop on the dominant
+  event shape (short self-rescheduling callback chains).
+* **headline** — wall-clock of the paper's headline progression
+  (stock vs fully-patched client, 30 MB vs the filer), plus the
+  simulated improvement factor it reproduces.
+* **fleet** — a 32-client fleet point against the filer: aggregate
+  throughput, Jain's index, and the serial-vs-sharded wall-clock pair
+  (``--shards 4``) with the bit-identity check that makes the sharded
+  number meaningful.
+* **cache** — warm hit rate of the content-addressed result cache over
+  a small sweep re-run.
+
+Simulated results are deterministic; the wall-clock fields are the only
+machine-dependent numbers and are recorded alongside ``nproc`` so a
+reader can judge the parallel-DES speedup in context (on a single-core
+container the four shard workers timeshare one CPU and the crossover
+sits above the machine, which the fleet lane documents explicitly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["run_bench", "bench_payload"]
+
+#: Headline progression file size (the abstract's 30 MB point).
+HEADLINE_MB = 30
+
+#: Fleet lane shape: the acceptance point for the perf trajectory.
+FLEET_CLIENTS = 32
+FLEET_SHARDS = 4
+FLEET_FILE_KIB = 1024
+
+
+def _wall() -> float:
+    # Wall-clock benchmarking of the host, never simulation input.
+    return time.perf_counter()  # noqa: DET102
+
+
+def _bench_sim_core(chains: int, events_per_chain: int) -> Dict[str, Any]:
+    from ..sim import Simulator
+
+    total = chains * events_per_chain
+    best = None
+    for _ in range(3):
+        sim = Simulator()
+        left = [events_per_chain] * chains
+
+        def tick(i):
+            left[i] -= 1
+            if left[i]:
+                sim.call_after(10 + i, tick, i)
+
+        started = _wall()
+        for i in range(chains):
+            sim.call_after(i, tick, i)
+        sim.run()
+        elapsed = _wall() - started
+        assert sim.events_processed == total and not any(left)
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "events": total,
+        "events_per_second": round(total / best),
+    }
+
+
+def _bench_headline(file_mb: int) -> Dict[str, Any]:
+    from ..bench.runner import TestBed
+    from ..units import MB
+
+    started = _wall()
+    mbps = {}
+    for variant in ("stock", "nolock"):
+        bed = TestBed(target="netapp", client=variant)
+        result = bed.run_sequential_write(file_mb * MB)
+        mbps[variant] = result.write_mbps
+    elapsed = _wall() - started
+    return {
+        "file_mb": file_mb,
+        "stock_mbps": round(mbps["stock"], 2),
+        "patched_mbps": round(mbps["nolock"], 2),
+        "improvement_x": round(mbps["nolock"] / mbps["stock"], 2),
+        "wall_s": round(elapsed, 3),
+    }
+
+
+def _bench_fleet(clients: int, shards: int, file_kib: int) -> Dict[str, Any]:
+    from ..parallel.des import run_sharded_fleet
+    from ..topology import FleetJobSpec, run_fleet_job
+    from ..units import KIB
+
+    spec = FleetJobSpec.homogeneous(
+        clients, target="netapp", file_bytes=file_kib * KIB
+    )
+    started = _wall()
+    serial = run_fleet_job(spec)
+    serial_wall = _wall() - started
+
+    started = _wall()
+    sharded = run_sharded_fleet(spec, shards=shards).point
+    sharded_wall = _wall() - started
+
+    identical = sharded.run_fingerprint() == serial.run_fingerprint()
+    speedup = serial_wall / sharded_wall
+    nproc = os.cpu_count() or 1
+    row = {
+        "clients": clients,
+        "shards": shards,
+        "file_kib": file_kib,
+        "aggregate_mbps": round(serial.aggregate_mbps, 2),
+        "jain": round(serial.fairness, 4),
+        "events": serial.events_processed,
+        "serial_wall_s": round(serial_wall, 3),
+        "sharded_wall_s": round(sharded_wall, 3),
+        "speedup_x": round(speedup, 2),
+        "fingerprints_identical": identical,
+        "nproc": nproc,
+    }
+    if nproc < shards and speedup < 2.0:
+        # The acceptance target (>= 2x at 32 clients / 4 shards) needs
+        # the shard workers on their own cores.  With nproc < shards
+        # they timeshare, adding IPC cost on top of the serial work, so
+        # the parallel crossover sits above this machine entirely.
+        row["crossover_note"] = (
+            f"nproc={nproc} < shards={shards}: worker processes timeshare "
+            "the cores, so sharding pays pipe/pickle overhead with no "
+            "concurrent execution to amortise it; the >=2x crossover "
+            "requires >= shards physical cores"
+        )
+    return row
+
+
+def _bench_cache() -> Dict[str, Any]:
+    from ..parallel.executor import JobSpec, SweepExecutor
+    from ..cache import ResultCache
+    from ..units import KIB
+
+    specs = [
+        JobSpec(target="netapp", client="stock", file_bytes=n * 256 * KIB)
+        for n in (1, 2, 3, 4)
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        executor = SweepExecutor(jobs=1, cache=cache)
+        cold = executor.map(specs)
+        cold_misses = cache.misses
+        started = _wall()
+        warm = executor.map(specs)
+        warm_wall = _wall() - started
+        warm_hits = cache.hits
+    assert [p.to_payload() for p in cold] == [p.to_payload() for p in warm]
+    return {
+        "points": len(specs),
+        "cold_misses": cold_misses,
+        "warm_hits": warm_hits,
+        "warm_hit_rate": round(warm_hits / len(specs), 3),
+        "warm_wall_s": round(warm_wall, 3),
+    }
+
+
+def bench_payload(quick: bool = False) -> Dict[str, Any]:
+    """Run every lane; returns the JSON-ready payload."""
+    if quick:
+        sim_core = _bench_sim_core(16, 500)
+        headline = _bench_headline(4)
+        fleet = _bench_fleet(8, 2, 256)
+    else:
+        sim_core = _bench_sim_core(64, 2_000)
+        headline = _bench_headline(HEADLINE_MB)
+        fleet = _bench_fleet(FLEET_CLIENTS, FLEET_SHARDS, FLEET_FILE_KIB)
+    return {
+        "bench": "repro-nfs",
+        "quick": quick,
+        "nproc": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "sim_core": sim_core,
+        "headline": headline,
+        "fleet": fleet,
+        "cache": _bench_cache(),
+    }
+
+
+def run_bench(
+    json_path: Optional[str] = None, quick: bool = False, out=None
+) -> int:
+    """``repro-nfs bench``: print the lanes; ``--json`` writes the row."""
+    if out is None:
+        out = sys.stdout
+    payload = bench_payload(quick=quick)
+    sim_core, headline = payload["sim_core"], payload["headline"]
+    fleet, cache = payload["fleet"], payload["cache"]
+    out.write(
+        f"sim core   {sim_core['events_per_second']:>12,} events/s "
+        f"({sim_core['events']:,} events)\n"
+    )
+    out.write(
+        f"headline   {headline['wall_s']:>10.2f} s wall   "
+        f"stock {headline['stock_mbps']:.1f} -> patched "
+        f"{headline['patched_mbps']:.1f} MBps "
+        f"({headline['improvement_x']:.1f}x)\n"
+    )
+    out.write(
+        f"fleet      {fleet['aggregate_mbps']:>8.1f} MBps aggregate, "
+        f"Jain {fleet['jain']:.4f} "
+        f"({fleet['clients']} clients)\n"
+    )
+    out.write(
+        f"           serial {fleet['serial_wall_s']:.2f} s vs "
+        f"{fleet['shards']} shards {fleet['sharded_wall_s']:.2f} s "
+        f"({fleet['speedup_x']:.2f}x, nproc={fleet['nproc']}, "
+        f"fingerprints {'identical' if fleet['fingerprints_identical'] else 'DIVERGED'})\n"
+    )
+    if "crossover_note" in fleet:
+        out.write(f"           note: {fleet['crossover_note']}\n")
+    out.write(
+        f"cache      {cache['warm_hit_rate']:.0%} warm hit rate "
+        f"({cache['warm_hits']}/{cache['points']} points, "
+        f"warm replay {cache['warm_wall_s']*1e3:.0f} ms)\n"
+    )
+    if json_path:
+        with open(json_path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        out.write(f"wrote {json_path}\n")
+    return 0 if fleet["fingerprints_identical"] else 1

@@ -137,14 +137,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="stagger client start times by this many microseconds each",
     )
     fleet.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the fleet as N parallel DES shards (one worker process "
+        "per client group); must reproduce the serial fingerprint "
+        "bit-for-bit (default 1 = serial)",
+    )
+    fleet.add_argument(
         "--no-verify",
         action="store_true",
-        help="skip the second run that checks bit-for-bit determinism",
+        help="skip the second run that checks bit-for-bit determinism "
+        "(with --shards > 1, the check replays serially)",
     )
     fleet.add_argument(
         "--sanitize",
         action="store_true",
         help="run under the runtime sanitizers and audit their findings",
+    )
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance lanes (sim-core events/sec, headline "
+        "wall-clock, fleet serial-vs-sharded, cache hit rate)",
+    )
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="additionally write the lane results as a JSON row to PATH",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes for a fast smoke run",
     )
     faults = sub.add_parser(
         "faults",
@@ -345,6 +372,7 @@ def run_fleet(
     file_kib: int = 1024,
     chunk_bytes: int = 8192,
     stagger_us: int = 0,
+    shards: int = 1,
     verify: bool = True,
     sanitize: bool = False,
     out=None,
@@ -358,6 +386,12 @@ def run_fleet(
     a second, uninstrumented time and the two reduced results must hash
     identically: the bit-for-bit contract, which also proves the
     sanitizers perturbed nothing.
+
+    ``shards > 1`` runs the same fleet as parallel DES shards: client
+    groups simulate in worker processes, the switch and servers in this
+    one.  Durable server state stays inspectable in-process, and the
+    ``deterministic-replay`` invariant becomes the sharded-vs-serial
+    equality check — the strongest form of the contract.
     """
     from contextlib import ExitStack
 
@@ -383,15 +417,25 @@ def run_fleet(
             from ..analysis.sanitize import sanitized
 
             san_session = stack.enter_context(sanitized())
-        topo = Topology(clients=spec.clients, servers=spec.servers, switch=spec.switch)
-        fleet = FleetWorkload(
-            topo,
-            spec.file_bytes,
-            chunk_bytes=spec.chunk_bytes,
-            do_fsync=spec.do_fsync,
-            stagger_ns=spec.stagger_ns,
-        ).run(time_limit_ns=spec.time_limit_ns)
-    point = reduce_fleet(fleet)
+        if shards > 1:
+            from ..parallel.des import run_sharded_fleet
+
+            outcome = run_sharded_fleet(spec, shards=shards)
+            point = outcome.point
+            live_servers = outcome.servers
+        else:
+            topo = Topology(
+                clients=spec.clients, servers=spec.servers, switch=spec.switch
+            )
+            fleet = FleetWorkload(
+                topo,
+                spec.file_bytes,
+                chunk_bytes=spec.chunk_bytes,
+                do_fsync=spec.do_fsync,
+                stagger_ns=spec.stagger_ns,
+            ).run(time_limit_ns=spec.time_limit_ns)
+            point = reduce_fleet(fleet)
+            live_servers = topo.servers
     elapsed = time.time() - started  # noqa: DET102
 
     rows = [
@@ -401,8 +445,9 @@ def run_fleet(
         )
     ]
     width = max(len(r[0]) for r in rows)
+    sharding = f", {shards} shards" if shards > 1 else ""
     out.write(f"{clients} x {client_variant} client(s) -> {target}, "
-              f"{file_kib} KiB each\n")
+              f"{file_kib} KiB each{sharding}\n")
     out.write(f"{'client'.ljust(width)}  write MBps   p99 us\n")
     for name, mb, p99 in rows:
         out.write(f"{name.ljust(width)}  {mb.rjust(10)}  {p99.rjust(7)}\n")
@@ -421,7 +466,7 @@ def run_fleet(
         )
 
     invariants = []
-    for server in topo.servers:
+    for server in live_servers:
         if server is None:
             continue
         laggards = sorted(
@@ -459,10 +504,13 @@ def run_fleet(
     if verify:
         from ..topology import run_fleet_job
 
+        # Always replays serially: with shards > 1 this is the
+        # sharded-vs-serial bit-identity contract, not just a rerun.
         replay_fp = run_fleet_job(spec).run_fingerprint()
+        name = "deterministic-replay" if shards == 1 else "serial-equivalence"
         invariants.append(
             Invariant(
-                "deterministic-replay",
+                name,
                 replay_fp == fingerprint,
                 f"replay fingerprint {replay_fp[:12]} != {fingerprint[:12]}",
             )
@@ -544,6 +592,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"--clients must be >= 1, got {args.clients}")
         if args.file_kib < 1:
             parser.error(f"--file-kib must be >= 1, got {args.file_kib}")
+        if args.shards < 1:
+            parser.error(f"--shards must be >= 1, got {args.shards}")
         ok = run_fleet(
             args.clients,
             args.target,
@@ -551,10 +601,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             file_kib=args.file_kib,
             chunk_bytes=args.chunk,
             stagger_us=args.stagger_us,
+            shards=args.shards,
             verify=not args.no_verify,
             sanitize=args.sanitize,
         )
         return 0 if ok else 1
+    if args.command == "bench":
+        from .bench import run_bench
+
+        return run_bench(json_path=args.json_path, quick=args.quick)
     if args.command == "faults":
         from ..faults import SCENARIOS
 

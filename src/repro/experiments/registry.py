@@ -14,6 +14,7 @@ from .figure5 import Figure5
 from .figure6 import Figure6
 from .figure7 import Figure7
 from .fleet import Fleet
+from .scale import Scale
 from .table1 import Table1
 
 __all__ = ["EXPERIMENTS", "get_experiment", "experiment_ids"]
@@ -28,6 +29,7 @@ _CLASSES: List[Type[Experiment]] = [
     Table1,
     Figure7,
     Fleet,
+    Scale,
 ]
 
 EXPERIMENTS: Dict[str, Type[Experiment]] = {cls.id: cls for cls in _CLASSES}

@@ -22,6 +22,18 @@ __all__ = ["Host"]
 class Host:
     """One machine attached to the switch."""
 
+    __slots__ = (
+        "sim",
+        "name",
+        "net",
+        "costs",
+        "cpus",
+        "port",
+        "udp",
+        "rx_fragments",
+        "rx_datagrams",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -8,7 +8,7 @@ from typing import Any
 __all__ = ["Datagram", "Fragment"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """A UDP datagram addressed host-to-host.
 
@@ -25,7 +25,7 @@ class Datagram:
     dgram_id: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Fragment:
     """One IP fragment of a datagram, as it appears on the wire."""
 

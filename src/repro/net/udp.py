@@ -30,6 +30,8 @@ PER_FRAGMENT_FRACTION = 0.6
 class UdpSocket:
     """A bound UDP endpoint with a FIFO receive queue."""
 
+    __slots__ = ("_stack", "port", "_queue", "_waiter", "closed", "on_deliver")
+
     def __init__(self, stack: "UdpStack", port: int):
         self._stack = stack
         self.port = port
@@ -87,6 +89,8 @@ class UdpSocket:
 
 class UdpStack:
     """Per-host socket table."""
+
+    __slots__ = ("host", "_sockets", "delivered", "dropped_no_socket")
 
     def __init__(self, host: "Host"):
         self.host = host

@@ -20,7 +20,7 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
-from ..units import MIB
+from ..units import KIB, MIB
 from .core import Observability, observed
 from .export import chrome_trace, flat_profile, prometheus_text, validate_chrome_trace
 
@@ -38,6 +38,9 @@ TRACE_POINTS: Dict[str, Tuple[Dict[str, object], int]] = {
     "fig7": ({"target": "linux", "client": "enhanced"}, 4 * MIB),
     # Multi-client trace point: kwargs carry "clients" and run a fleet.
     "fleet": ({"clients": 4, "target": "netapp"}, 1 * MIB),
+    # The scale experiment's observable slice: big enough to queue at
+    # the server, small enough to trace.
+    "scale": ({"clients": 16, "target": "netapp"}, 256 * KIB),
 }
 
 

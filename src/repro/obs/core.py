@@ -26,6 +26,7 @@ or explicitly: ``TestBed(..., observe=True)``.
 
 from __future__ import annotations
 
+import sys
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
@@ -199,12 +200,24 @@ class ScopedObservability:
     across clients resolve in one tree.
     """
 
-    __slots__ = ("root", "client", "_prefix")
+    __slots__ = ("root", "client", "_prefix", "_keys")
 
     def __init__(self, root: Observability, client: str):
         self.root = root
         self.client = client
         self._prefix = f"{client}/"
+        # Prefixed-key cache: instrument call sites pass a small fixed
+        # vocabulary of literals, so building (and re-hashing) the
+        # f"{client}/{key}" string on every count() is pure overhead.
+        # Interned cached keys also make the registry probe pointer-fast.
+        self._keys: Dict[str, str] = {}
+
+    def _scoped(self, key: str) -> str:
+        scoped = self._keys.get(key)
+        if scoped is None:
+            scoped = sys.intern(self._prefix + key)
+            self._keys[key] = scoped
+        return scoped
 
     @property
     def enabled(self) -> bool:
@@ -225,16 +238,16 @@ class ScopedObservability:
     # -- metrics (key-prefixed) ---------------------------------------------
 
     def count(self, key: str, n: int = 1) -> None:
-        self.root.count(self._prefix + key, n)
+        self.root.count(self._scoped(key), n)
 
     def gauge(self, key: str, value) -> None:
-        self.root.gauge(self._prefix + key, value)
+        self.root.gauge(self._scoped(key), value)
 
     def observe(self, key: str, value, bounds=None) -> None:
-        self.root.observe(self._prefix + key, value, bounds)
+        self.root.observe(self._scoped(key), value, bounds)
 
     def sample(self, component: str, name: str, value) -> None:
-        self.root.sample(component, self._prefix + name, value)
+        self.root.sample(component, self._scoped(name), value)
 
     # -- spans (client-attributed, globally numbered) ------------------------
 

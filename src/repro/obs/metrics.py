@@ -13,6 +13,7 @@ never adapt to the data.
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 __all__ = [
@@ -103,6 +104,10 @@ class MetricsRegistry:
     def _get(self, key: str, cls, *args):
         metric = self._metrics.get(key)
         if metric is None:
+            # Intern on first registration: instrument keys are a small
+            # fixed vocabulary hit millions of times, so interned keys
+            # dedupe storage and make later dict probes pointer-fast.
+            key = sys.intern(key)
             metric = cls(key, *args)
             self._metrics[key] = metric
         elif not isinstance(metric, cls):

@@ -1,0 +1,24 @@
+"""Sharded parallel discrete-event simulation for fleet topologies.
+
+Partitions a fleet at its client access links into worker shards plus
+a hub (switch + servers), synchronised by conservative lookahead
+windows derived from the minimum client link latency.  ``shards=1``
+degenerates to one worker and is — like every other shard count —
+bit-identical to the serial event loop up to
+:meth:`~repro.topology.fleet.FleetPointResult.run_fingerprint`.
+"""
+
+from .engine import ShardedFleetOutcome, run_sharded_fleet
+from .plan import FleetFaults, ShardPlan, build_plan
+from .worlds import BoundaryLink, ClientShardWorld, HubWorld
+
+__all__ = [
+    "run_sharded_fleet",
+    "ShardedFleetOutcome",
+    "FleetFaults",
+    "ShardPlan",
+    "build_plan",
+    "BoundaryLink",
+    "ClientShardWorld",
+    "HubWorld",
+]

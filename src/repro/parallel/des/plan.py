@@ -1,0 +1,167 @@
+"""Shard planning: how a fleet topology splits at link boundaries.
+
+A fleet topology is a star: every client talks to the servers through
+the switch, and clients never talk to each other.  The natural cut is
+therefore at the client access links — each client *shard* owns a group
+of whole client stacks (host, page cache, NFS client, syscalls) plus
+the client side of their uplinks/downlinks, and the *hub* shard owns
+the switch, every server, and the switch side of every link.
+
+The conservative lookahead window is the minimum client link latency:
+a frame put on a cut link at time ``t`` cannot arrive before
+``t + latency``, so once every shard has simulated up to ``T``, all
+frames crossing a boundary before ``T + W`` are already known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...config import NetConfig
+from ...errors import ConfigError
+from ...topology.fleet import FleetJobSpec
+from ...topology.spec import ClientSpec
+
+__all__ = ["ShardPlan", "FleetFaults", "build_plan", "client_names"]
+
+
+def _client_name(index: int, spec: ClientSpec, total: int) -> str:
+    """The name :class:`~repro.topology.build.ClientStack` will choose."""
+    if spec.name is not None:
+        return spec.name
+    if total == 1:
+        return "client"
+    return f"client{index}"
+
+
+def client_names(spec: FleetJobSpec) -> List[str]:
+    total = len(spec.clients)
+    return [_client_name(i, c, total) for i, c in enumerate(spec.clients)]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of one :class:`FleetJobSpec` into worker shards."""
+
+    spec: FleetJobSpec
+    #: Per-shard client index groups, contiguous and in client order.
+    groups: Tuple[Tuple[int, ...], ...]
+    #: Conservative lookahead window (ns): minimum client link latency.
+    lookahead_ns: int
+
+    @property
+    def nshards(self) -> int:
+        return len(self.groups)
+
+    def shard_of(self, client_index: int) -> int:
+        for shard, group in enumerate(self.groups):
+            if client_index in group:
+                return shard
+        raise ConfigError(f"client {client_index} is in no shard")
+
+
+def build_plan(spec: FleetJobSpec, shards: int) -> ShardPlan:
+    """Partition ``spec``'s clients into at most ``shards`` groups.
+
+    Groups are contiguous in client-index order so that same-timestamp
+    boundary frames from different shards sort in the same client order
+    the serial heap would have produced.
+    """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    n = len(spec.clients)
+    if n == 0:
+        raise ConfigError("a fleet needs at least one client")
+    for i, client in enumerate(spec.clients):
+        server_spec = spec.servers[client.server]
+        if getattr(server_spec, "is_local", False):
+            raise ConfigError(
+                f"client {i} mounts a local filesystem; sharded runs cut "
+                "at network links, so every client must mount a remote server"
+            )
+    shards = min(shards, n)
+    # Balanced contiguous groups: group g covers [g*n//s, (g+1)*n//s).
+    groups = tuple(
+        tuple(range(g * n // shards, (g + 1) * n // shards))
+        for g in range(shards)
+    )
+    lookahead = min(
+        (c.net or NetConfig.gigabit()).latency_ns for c in spec.clients
+    )
+    if lookahead <= 0:
+        raise ConfigError(
+            "sharded runs need a positive client link latency for the "
+            "conservative lookahead window; got 0 ns"
+        )
+    return ShardPlan(spec=spec, groups=groups, lookahead_ns=lookahead)
+
+
+@dataclass
+class FleetFaults:
+    """Declarative fault set for a fleet run, serial or sharded.
+
+    Link faults are keyed by host *name* (client or server) and routed
+    to the shard that owns the faulted link end: a client's uplink
+    fault runs inside the owning client shard (frames are disturbed
+    before they cross the boundary), while client downlink faults and
+    everything server-side run in the hub, exactly where the serial
+    switch would apply them.
+
+    Server schedules are method call lists replayed against a
+    :class:`~repro.faults.server.ServerFaultSchedule` built on the live
+    (hub-side) server: ``[(server_index, (("crash_at", (ms(40),)),
+    ("restart_at", (ms(55),))))]``.
+    """
+
+    uplink: Dict[str, object] = field(default_factory=dict)
+    downlink: Dict[str, object] = field(default_factory=dict)
+    server_schedules: Sequence[Tuple[int, Sequence[Tuple[str, tuple]]]] = ()
+
+    def apply_serial(self, topo) -> List[object]:
+        """Install the whole set on a serial :class:`Topology`.
+
+        Returns the live ``ServerFaultSchedule`` objects (for log
+        inspection); link faults mutate the switch ports in place.
+        """
+        self.apply_links(topo.switch)
+        return self.apply_schedules(topo.servers)
+
+    def apply_links(self, switch) -> None:
+        for name, fault in self.uplink.items():
+            switch.install_fault(name, uplink=fault)
+        for name, fault in self.downlink.items():
+            switch.install_fault(name, downlink=fault)
+
+    def apply_schedules(self, servers) -> List[object]:
+        from ...faults.server import ServerFaultSchedule
+
+        out = []
+        for index, ops in self.server_schedules:
+            schedule = ServerFaultSchedule(servers[index])
+            for method, args in ops:
+                getattr(schedule, method)(*args)
+            out.append(schedule)
+        return out
+
+    def split(self, plan: ShardPlan) -> Tuple[List["FleetFaults"], "FleetFaults"]:
+        """Route into (per-client-shard faults, hub faults)."""
+        names = client_names(plan.spec)
+        owner = {}
+        for shard, group in enumerate(plan.groups):
+            for index in group:
+                owner[names[index]] = shard
+        per_shard = [FleetFaults() for _ in plan.groups]
+        hub = FleetFaults(server_schedules=self.server_schedules)
+        for name, fault in self.uplink.items():
+            shard = owner.get(name)
+            if shard is None:  # server uplink: hub-side
+                hub.uplink[name] = fault
+            else:
+                per_shard[shard].uplink[name] = fault
+        for name, fault in self.downlink.items():
+            # Downlinks are driven by the switch's forward path, which
+            # always runs hub-side — even for client downlinks, whose
+            # hub stub captures the disturbed arrival times.
+            hub.downlink[name] = fault
+        return per_shard, hub

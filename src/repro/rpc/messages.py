@@ -18,7 +18,7 @@ RPC_CALL_HEADER = 72
 RPC_REPLY_HEADER = 48
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcCall:
     """One RPC call as it crosses the wire."""
 
@@ -38,7 +38,7 @@ class RpcCall:
             self.size = RPC_CALL_HEADER
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcReply:
     """The matching reply."""
 
@@ -57,7 +57,7 @@ class RpcReply:
         return isinstance(self.result, RpcError)
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcError:
     """An error result (accept-stat != SUCCESS / NFS error status).
 

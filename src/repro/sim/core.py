@@ -128,6 +128,26 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._queue, (time, self._seq, fn, args))
 
+    def alloc_seq(self) -> int:
+        """Reserve the next tie-break sequence number without queueing.
+
+        Pairs with :meth:`push_at`: a caller that defers heap insertion
+        (e.g. a link keeping one live event per wire) reserves the seq
+        at submission time, so pop order is identical to eager
+        ``call_at`` — ``(time, seq)`` keys don't depend on *when* the
+        entry physically enters the heap.
+        """
+        self._seq += 1
+        return self._seq
+
+    def push_at(self, time: int, seq: int, fn: Callable[..., None], *args: Any) -> None:
+        """Insert a fast-lane entry under a seq from :meth:`alloc_seq`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now={self._now})"
+            )
+        heapq.heappush(self._queue, (time, seq, fn, args))
+
     # -- cancellation bookkeeping -------------------------------------------
 
     def _note_cancelled(self) -> None:
@@ -223,6 +243,59 @@ class Simulator:
             self._running = False
             self.events_processed += processed
         return self._now
+
+    def run_window(self, end: int) -> int:
+        """Process every event strictly before ``end``, then advance to ``end``.
+
+        The conservative parallel-DES building block: a shard runs the
+        half-open window ``[now, end)``, so events scheduled exactly at
+        ``end`` (the next window's opening edge, or a message injected
+        by another shard) stay queued.  Unlike :meth:`run`, the bound is
+        exclusive.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while queue and queue[0][0] < end:
+                entry = heappop(queue)
+                if len(entry) == 4:
+                    self._now = entry[0]
+                    processed += 1
+                    entry[2](*entry[3])
+                else:
+                    handle = entry[2]
+                    if handle.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self._now = entry[0]
+                    processed += 1
+                    handle.fn(*handle.args)
+            if self._now < end:
+                self._now = end
+        finally:
+            self._running = False
+            self.events_processed += processed
+        return self._now
+
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the earliest live event, or None when drained.
+
+        Pops cancelled heads as a side effect (they are dead anyway);
+        used by the shard synchroniser to skip empty lookahead windows.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if len(entry) == 3 and entry[2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            return entry[0]
+        return None
 
     def run_for(self, duration: int) -> int:
         """Process events for ``duration`` nanoseconds of simulated time."""

@@ -40,6 +40,8 @@ class Waitable:
     ``task._resume(value)`` or ``task._throw(exc)``.
     """
 
+    __slots__ = ()
+
     def _arm(self, task: "Task") -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -65,6 +67,18 @@ class Task(Waitable):
     Yielding a task from another task joins it: the joiner resumes when
     the task finishes, receiving its return value (or its exception).
     """
+
+    __slots__ = (
+        "_sim",
+        "_gen",
+        "name",
+        "daemon",
+        "done",
+        "result",
+        "error",
+        "_joiners",
+        "_cancelled",
+    )
 
     def __init__(
         self,
@@ -171,6 +185,8 @@ class AllOf(Waitable):
     If any task fails, the first failure (in completion order) is
     re-raised in the waiter.
     """
+
+    __slots__ = ("_tasks",)
 
     def __init__(self, tasks: List[Task]):
         self._tasks = list(tasks)

@@ -38,6 +38,9 @@ __all__ = [
     "FleetResult",
     "FleetJobSpec",
     "FleetPointResult",
+    "fleet_client_body",
+    "client_row",
+    "server_rows",
     "reduce_fleet",
     "run_fleet_job",
 ]
@@ -144,16 +147,9 @@ class FleetWorkload:
         self.stagger_ns = stagger_ns
 
     def _body(self, stack, offset_ns: int, chunk_bytes: int):
-        sim = self.topology.sim
-        if offset_ns > 0:
-            yield sim.timeout(offset_ns)
-        bench = SequentialWriteBenchmark(
-            stack.syscalls, chunk_bytes=chunk_bytes, do_fsync=self.do_fsync
+        return fleet_client_body(
+            stack, offset_ns, chunk_bytes, self.file_bytes, self.do_fsync
         )
-        start = sim.now
-        file = yield from stack.open_file(f"{stack.name}-file")
-        result = yield from bench.run(file, self.file_bytes)
-        return (start, sim.now, result)
 
     def run(self, time_limit_ns: Optional[int] = None) -> FleetResult:
         """Run every client to completion (blocking); returns the fleet."""
@@ -196,12 +192,32 @@ class FleetWorkload:
         )
 
 
-def _server_rows(topo: Topology) -> List[Dict[str, Any]]:
+def fleet_client_body(stack, offset_ns: int, chunk_bytes: int, file_bytes: int, do_fsync: bool):
+    """The per-client fleet workload generator.
+
+    Module-level so shard workers run the *same* generator — byte for
+    byte — as the serial :class:`FleetWorkload`; any drift here would
+    show up as a fingerprint mismatch, not a subtle skew.
+    """
+    sim = stack.sim
+    if offset_ns > 0:
+        yield sim.timeout(offset_ns)
+    bench = SequentialWriteBenchmark(
+        stack.syscalls, chunk_bytes=chunk_bytes, do_fsync=do_fsync
+    )
+    start = sim.now
+    file = yield from stack.open_file(f"{stack.name}-file")
+    result = yield from bench.run(file, file_bytes)
+    return (start, sim.now, result)
+
+
+def server_rows(servers, switch) -> List[Dict[str, Any]]:
+    """Per-server accounting rows from live server objects + switch."""
     rows: List[Dict[str, Any]] = []
-    for server in topo.servers:
+    for server in servers:
         if server is None:
             continue
-        downlink = topo.switch.port(server.name).downlink
+        downlink = switch.port(server.name).downlink
         rows.append(
             {
                 "name": server.name,
@@ -214,6 +230,10 @@ def _server_rows(topo: Topology) -> List[Dict[str, Any]]:
             }
         )
     return rows
+
+
+def _server_rows(topo: Topology) -> List[Dict[str, Any]]:
+    return server_rows(topo.servers, topo.switch)
 
 
 # -- sweep integration --------------------------------------------------------
@@ -327,9 +347,18 @@ class FleetPointResult:
         )
 
     def run_fingerprint(self) -> str:
-        """Content hash of the whole outcome — two runs of the same spec
-        must produce the same digest (the determinism contract)."""
-        blob = json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+        """Content hash of the whole *simulated* outcome — two runs of
+        the same spec must produce the same digest (the determinism
+        contract).
+
+        ``events_processed`` is excluded: it counts engine dispatches,
+        not simulated behaviour, and a sharded run's window bookkeeping
+        legitimately dispatches a different number of callbacks while
+        producing bit-identical timings, traces and server accounting.
+        """
+        payload = self.to_payload()
+        payload.pop("events_processed", None)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -338,23 +367,28 @@ def _trace_sha(result: BenchmarkResult) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def client_row(name: str, start_ns: int, end_ns: int, result: BenchmarkResult) -> Dict[str, Any]:
+    """One client's reduced row — shard workers build these locally so
+    the full latency trace never crosses the process boundary."""
+    return {
+        "name": name,
+        "file_bytes": result.file_bytes,
+        "chunk_bytes": result.chunk_bytes,
+        "start_ns": start_ns,
+        "end_ns": end_ns,
+        "write_elapsed_ns": result.write_elapsed_ns,
+        "flush_elapsed_ns": result.flush_elapsed_ns,
+        "close_elapsed_ns": result.close_elapsed_ns,
+        "p99_ns": result.trace.percentile_ns(99),
+        "calls": len(result.trace),
+        "trace_sha": _trace_sha(result),
+    }
+
+
 def reduce_fleet(fleet: FleetResult) -> FleetPointResult:
     """Reduce a live :class:`FleetResult` to its cacheable point form."""
     clients = [
-        {
-            "name": c.name,
-            "file_bytes": c.result.file_bytes,
-            "chunk_bytes": c.result.chunk_bytes,
-            "start_ns": c.start_ns,
-            "end_ns": c.end_ns,
-            "write_elapsed_ns": c.result.write_elapsed_ns,
-            "flush_elapsed_ns": c.result.flush_elapsed_ns,
-            "close_elapsed_ns": c.result.close_elapsed_ns,
-            "p99_ns": c.p99_ns,
-            "calls": len(c.result.trace),
-            "trace_sha": _trace_sha(c.result),
-        }
-        for c in fleet.clients
+        client_row(c.name, c.start_ns, c.end_ns, c.result) for c in fleet.clients
     ]
     return FleetPointResult(
         clients=clients,
@@ -363,11 +397,21 @@ def reduce_fleet(fleet: FleetResult) -> FleetPointResult:
     )
 
 
-def run_fleet_job(spec: FleetJobSpec) -> FleetPointResult:
+def run_fleet_job(
+    spec: FleetJobSpec, shards: int = 1, transport: str = "process"
+) -> FleetPointResult:
     """Build one pristine topology, run the fleet, reduce the result.
 
     Module-level so process-pool workers can unpickle a reference to it.
+    ``shards`` is an *execution* argument, deliberately not part of the
+    spec: a sharded run must reduce to the same point (and the same
+    :meth:`FleetPointResult.run_fingerprint`) as ``shards=1``, so it
+    must not perturb the spec's cache fingerprint either.
     """
+    if shards > 1:
+        from ..parallel.des import run_sharded_fleet
+
+        return run_sharded_fleet(spec, shards=shards, transport=transport).point
     topo = Topology(
         clients=spec.clients, servers=spec.servers, switch=spec.switch
     )

@@ -1,0 +1,51 @@
+"""The ``repro-nfs bench`` lane: schema, invariants, JSON round-trip.
+
+The wall-clock numbers themselves are machine noise and never asserted;
+what CI guards is that the lane *runs*, that its simulated results hold
+(sharded fingerprints identical, cache replays perfectly), and that the
+JSON row it emits carries every field the perf trajectory compares
+across PRs.
+"""
+
+import io
+import json
+
+from repro.experiments.bench import bench_payload, run_bench
+
+
+def test_bench_payload_quick_schema_and_invariants():
+    payload = bench_payload(quick=True)
+    assert payload["quick"] is True
+    assert payload["nproc"] >= 1
+
+    sim_core = payload["sim_core"]
+    assert sim_core["events"] == 16 * 500
+    assert sim_core["events_per_second"] > 0
+
+    headline = payload["headline"]
+    assert headline["improvement_x"] > 1.0
+    assert headline["wall_s"] > 0
+
+    fleet = payload["fleet"]
+    assert fleet["fingerprints_identical"] is True
+    assert fleet["jain"] >= 0.95
+    assert fleet["serial_wall_s"] > 0 and fleet["sharded_wall_s"] > 0
+    # The crossover escape hatch: a sub-2x speedup on a machine with
+    # fewer cores than shards must carry its explanation in-band.
+    if fleet["nproc"] < fleet["shards"] and fleet["speedup_x"] < 2.0:
+        assert "crossover_note" in fleet
+
+    cache = payload["cache"]
+    assert cache["warm_hit_rate"] == 1.0
+    assert cache["cold_misses"] == cache["points"]
+
+
+def test_run_bench_writes_json_row(tmp_path):
+    out = io.StringIO()
+    path = tmp_path / "bench.json"
+    code = run_bench(json_path=str(path), quick=True, out=out)
+    assert code == 0
+    text = out.getvalue()
+    assert "sim core" in text and "fingerprints identical" in text
+    row = json.loads(path.read_text())
+    assert set(row) >= {"sim_core", "headline", "fleet", "cache", "nproc"}

@@ -13,6 +13,7 @@ def test_registry_covers_every_paper_artifact():
     ids = experiment_ids()
     assert ids == [
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "fig7", "fleet",
+        "scale",
     ]
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
@@ -50,6 +51,10 @@ def test_cli_parser():
     assert args.scale == 8.0
     args = parser.parse_args(["list"])
     assert args.command == "list"
+    args = parser.parse_args(["fleet", "--clients", "4", "--shards", "2"])
+    assert args.shards == 2
+    args = parser.parse_args(["bench", "--quick", "--json", "out.json"])
+    assert args.quick and args.json_path == "out.json"
 
 
 def test_run_experiments_renders_report():
