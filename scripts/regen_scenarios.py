@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate the ``scenarios/`` corpus from the legacy spec builders.
+
+Each of the six scripted chaos scenarios is serialised to
+``scenarios/<name>.json`` with its expectations pinned from a fresh run
+(pass verdict, failed-invariant names, payload fingerprint).  Run this
+after any intentional simulator behaviour change, then review the
+fingerprint diffs like any other golden-file update:
+
+    PYTHONPATH=src python scripts/regen_scenarios.py [corpus-dir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.chaos import pin_expectations, run_spec, save_scenario  # noqa: E402
+from repro.chaos.legacy import corpus_specs  # noqa: E402
+
+
+def main(root: str) -> int:
+    for name, spec in corpus_specs().items():
+        outcome = run_spec(spec, verify_determinism=True, sanitize=True)
+        pinned = pin_expectations(spec, outcome)
+        path = save_scenario(pinned, root)
+        status = "pass" if outcome.passed else "FAIL"
+        print(f"{name:16} {status}  {outcome.fingerprint[:16]}  -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(__file__), "..", "scenarios"
+    )
+    raise SystemExit(main(os.path.normpath(root)))

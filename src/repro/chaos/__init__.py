@@ -1,0 +1,77 @@
+"""Chaos engineering for the simulated write path.
+
+Declarative, schema-validated fault scenarios (:mod:`repro.chaos.spec`,
+:mod:`repro.chaos.schema`), a runner that materialises them against the
+simulator (:mod:`repro.chaos.runner`), the invariant check registry
+(:mod:`repro.chaos.checks`), the versioned ``scenarios/`` corpus loader
+(:mod:`repro.chaos.corpus`), and the seeded fault-schedule fuzzer with
+its deterministic delta-debugging shrinker (:mod:`repro.chaos.fuzz`,
+:mod:`repro.chaos.shrink`).
+"""
+
+from .schema import SCENARIO_SCHEMA, SCHEMA_VERSION, SchemaError, validate
+from .spec import (
+    BedSpec,
+    CheckSpec,
+    ClientEventSpec,
+    ExpectSpec,
+    LinkFaultSpec,
+    ProbeSpec,
+    ScenarioSpec,
+    ServerEventSpec,
+    WorkloadSpec,
+    load_scenario,
+    loads_scenario,
+)
+from .checks import CHECKS, CheckContext, check_names, run_checks
+from .runner import failure_signature, run_spec
+from .corpus import (
+    CorpusReplay,
+    corpus_files,
+    pin_expectations,
+    replay_corpus,
+    replay_file,
+    save_regression,
+    save_scenario,
+)
+from .shrink import ShrinkResult, shrink
+from .fuzz import FuzzFinding, FuzzReport, draw_spec, fuzz
+from .legacy import legacy_specs
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "validate",
+    "BedSpec",
+    "CheckSpec",
+    "ClientEventSpec",
+    "ExpectSpec",
+    "LinkFaultSpec",
+    "ProbeSpec",
+    "ScenarioSpec",
+    "ServerEventSpec",
+    "WorkloadSpec",
+    "load_scenario",
+    "loads_scenario",
+    "CHECKS",
+    "CheckContext",
+    "check_names",
+    "run_checks",
+    "failure_signature",
+    "run_spec",
+    "CorpusReplay",
+    "corpus_files",
+    "pin_expectations",
+    "replay_corpus",
+    "replay_file",
+    "save_regression",
+    "save_scenario",
+    "ShrinkResult",
+    "shrink",
+    "FuzzFinding",
+    "FuzzReport",
+    "draw_spec",
+    "fuzz",
+    "legacy_specs",
+]

@@ -1,0 +1,249 @@
+"""The six hand-written chaos scenarios, re-expressed declaratively.
+
+Each builder returns the :class:`~repro.chaos.spec.ScenarioSpec` whose
+run is bit-identical — same payload, same fingerprint — to its scripted
+twin in :mod:`repro.faults.scenarios`.  ``scripts/regen_scenarios.py``
+serialises these into the ``scenarios/`` corpus; the equivalence tests
+replay both forms and compare fingerprints, so the corpus can never
+drift from the scripted originals unnoticed.
+
+RNG stream names are pinned explicitly (``lossy-burst/client-down``)
+rather than derived, because the legacy scenarios named their streams
+before the declarative format existed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..units import MIB, ms
+from .spec import (
+    BedSpec,
+    CheckSpec,
+    ClientEventSpec,
+    LinkFaultSpec,
+    ProbeSpec,
+    ScenarioSpec,
+    ServerEventSpec,
+    WorkloadSpec,
+)
+
+__all__ = ["legacy_specs"]
+
+
+def _gilbert(attach: str, stream: str) -> LinkFaultSpec:
+    return LinkFaultSpec(
+        kind="gilbert-elliott",
+        attach=attach,
+        direction="downlink",
+        rng=stream,
+        params=(("p_bad_to_good", 0.3), ("p_good_to_bad", 0.02)),
+    )
+
+
+def _lossy_burst() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="lossy-burst",
+        description=(
+            "Gilbert-Elliott burst loss on both directions; hard mount "
+            "rides it out"
+        ),
+        bed=BedSpec(
+            target="netapp",
+            client="stock",
+            mount=(("retrans", 7), ("timeo_ns", ms(25))),
+        ),
+        workload=WorkloadSpec(file_bytes=2 * MIB),
+        link_faults=(
+            _gilbert("client", "lossy-burst/client-down"),
+            _gilbert("server", "lossy-burst/server-down"),
+        ),
+        checks=(
+            CheckSpec("loss-injected"),
+            CheckSpec("client-retransmitted"),
+            CheckSpec("stability"),
+        ),
+    )
+
+
+def _server_restart() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="server-restart",
+        description=(
+            "knfsd crash (page cache + reply cache lost) and reboot "
+            "mid-write; verifier mismatch forces the client to rewrite "
+            "unstable data"
+        ),
+        bed=BedSpec(
+            target="linux",
+            client="stock",
+            mount=(("retrans", 7), ("timeo_ns", ms(50))),
+        ),
+        workload=WorkloadSpec(file_bytes=16 * MIB),
+        server_events=(
+            ServerEventSpec(op="crash", at_ns=ms(150)),
+            ServerEventSpec(op="restart", at_ns=ms(400)),
+        ),
+        probes=(ProbeSpec(at_ns=ms(150) - 1),),
+        checks=(
+            CheckSpec("verifier-bumped", params=(("expected", 2),)),
+            CheckSpec("verf-mismatch-detected"),
+            CheckSpec("no-stable-data-lost"),
+            CheckSpec("client-retransmitted"),
+            CheckSpec("stability"),
+        ),
+    )
+
+
+def _soft_timeout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="soft-timeout",
+        description=(
+            "server dies for good under a soft mount; the writer gets EIO "
+            "instead of hanging forever"
+        ),
+        bed=BedSpec(
+            target="netapp",
+            client="stock",
+            mount=(("retrans", 3), ("soft", True), ("timeo_ns", ms(10))),
+        ),
+        workload=WorkloadSpec(file_bytes=4 * MIB, expect="eio"),
+        server_events=(ServerEventSpec(op="crash", at_ns=ms(10)),),
+        checks=(
+            CheckSpec("eio-surfaced"),
+            CheckSpec("major-timeout-hit"),
+            CheckSpec("requests-failed-soft"),
+            CheckSpec("syscall-saw-eio"),
+        ),
+    )
+
+
+def _jukebox() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="jukebox",
+        description=(
+            "server answers NFS3ERR_JUKEBOX for 60 ms; client retries "
+            "after the jukebox delay and completes without duplicating data"
+        ),
+        bed=BedSpec(
+            target="linux",
+            client="stock",
+            mount=(("jukebox_delay_ns", ms(20)),),
+        ),
+        workload=WorkloadSpec(file_bytes=1 * MIB),
+        server_events=(
+            ServerEventSpec(op="jukebox", start_ns=0, end_ns=ms(60)),
+        ),
+        checks=(
+            CheckSpec("jukebox-injected"),
+            CheckSpec("client-waited-and-retried"),
+            CheckSpec("no-duplicate-ingest"),
+            CheckSpec("stability"),
+        ),
+    )
+
+
+def _slot_starvation() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="slot-starvation",
+        description=(
+            "RPC slot table pinched to one slot for 35 ms; backlog absorbs "
+            "the write stream and drains afterwards"
+        ),
+        bed=BedSpec(target="netapp", client="stock"),
+        workload=WorkloadSpec(file_bytes=2 * MIB),
+        client_events=(
+            ClientEventSpec(start_ns=ms(5), end_ns=ms(40), slots=1),
+        ),
+        checks=(
+            CheckSpec("starvation-applied"),
+            CheckSpec("backlog-built-up", params=(("min", 4),)),
+            CheckSpec("stability"),
+        ),
+    )
+
+
+def _monotone_loss() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="monotone-loss",
+        description=(
+            "throughput must not improve as per-frame loss rises "
+            "(0%, 2%, 8%)"
+        ),
+        bed=BedSpec(
+            target="netapp",
+            client="stock",
+            mount=(("retrans", 7), ("timeo_ns", ms(20))),
+        ),
+        workload=WorkloadSpec(file_bytes=1 * MIB),
+        sweep_loss_rates=(0.0, 0.02, 0.08),
+        checks=(
+            CheckSpec("throughput-monotone"),
+            CheckSpec("loss-cost-visible"),
+        ),
+    )
+
+
+def legacy_specs() -> Dict[str, ScenarioSpec]:
+    """Name → declarative spec for every scripted chaos scenario."""
+    specs = [
+        _lossy_burst(),
+        _server_restart(),
+        _soft_timeout(),
+        _jukebox(),
+        _slot_starvation(),
+        _monotone_loss(),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def _fleet_crash_commit() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-crash-commit",
+        description=(
+            "knfsd crashes and reboots under three concurrent writers; "
+            "every client must detect the verifier mismatch at COMMIT, "
+            "re-dirty its unstable pages, and still reach durability"
+        ),
+        bed=BedSpec(
+            target="linux",
+            client="stock",
+            clients=3,
+            mount=(("retrans", 7), ("timeo_ns", ms(50))),
+        ),
+        workload=WorkloadSpec(file_bytes=2 * MIB),
+        server_events=(
+            ServerEventSpec(op="crash", at_ns=ms(60)),
+            ServerEventSpec(op="restart", at_ns=ms(200)),
+        ),
+        checks=(
+            CheckSpec("fleet-files-durable"),
+            CheckSpec("fleet-clients-redirtied"),
+        ),
+    )
+
+
+def _fleet_starved_client() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-starved-client",
+        description=(
+            "one of three fleet clients loses its RPC slots for 35 ms; "
+            "every file still lands complete and stable"
+        ),
+        bed=BedSpec(target="netapp", client="stock", clients=3),
+        workload=WorkloadSpec(file_bytes=1 * MIB),
+        client_events=(
+            ClientEventSpec(client=1, start_ns=ms(5), end_ns=ms(40), slots=1),
+        ),
+        checks=(CheckSpec("fleet-files-durable"),),
+    )
+
+
+def corpus_specs() -> Dict[str, ScenarioSpec]:
+    """Everything ``scripts/regen_scenarios.py`` serialises: the six
+    legacy re-expressions plus the fleet chaos scenarios that only
+    exist declaratively."""
+    specs = dict(legacy_specs())
+    for spec in (_fleet_crash_commit(), _fleet_starved_client()):
+        specs[spec.name] = spec
+    return specs

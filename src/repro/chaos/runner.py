@@ -1,0 +1,501 @@
+"""Materialise and run one :class:`~repro.chaos.spec.ScenarioSpec`.
+
+The runner is the declarative twin of the hand-written scenarios in
+:mod:`repro.faults.scenarios`: given a spec it assembles the same beds,
+arms the same fault objects, runs the same benchmark, and produces the
+same payload keys — so the six legacy scenarios re-expressed as corpus
+files fingerprint identically to their scripted originals.
+
+Three execution shapes, chosen by the spec:
+
+* **single** (``bed.clients == 1``): one :class:`TestBed`, link faults
+  on the switch, server schedules, slot starvation, probes;
+* **fleet** (``bed.clients > 1``): a :class:`Topology` of identical
+  clients driven through :class:`FleetFaults` — the same routing object
+  the sharded engine uses, so ``shards >= 2`` can replay the identical
+  fault set under the parallel engine and assert serial equivalence;
+* **sweep** (``sweep.loss_rates``): the bed re-runs once per loss rate
+  (the monotone-loss shape).
+
+Faults are rebuilt from scratch on every run with RNG streams derived
+from the seed by *name*, so a spec can be run, replayed, and shrunk
+without state leaking between runs — the determinism contract extends
+to every fuzz draw.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bench.runner import TestBed
+from ..config import MountConfig, NetConfig
+from ..errors import ConfigError, EioError, ReproError
+from ..faults.link import (
+    DelayJitter,
+    DropFrames,
+    Duplicate,
+    FaultChain,
+    GilbertElliott,
+)
+from ..faults.scenarios import (
+    Invariant,
+    ScenarioOutcome,
+    _common_payload,
+    _fingerprint,
+    _sanitizer_invariants,
+    _server_file,
+    _trace_checksum,
+)
+from ..faults.server import ServerFaultSchedule
+from ..sim import RngStreams
+from .checks import CheckContext, run_checks
+from .spec import ScenarioSpec
+
+__all__ = ["run_spec", "failure_signature"]
+
+
+def _mount(spec: ScenarioSpec) -> Optional[MountConfig]:
+    return MountConfig(**spec.bed.mount_dict()) if spec.bed.mount else None
+
+
+def _net(spec: ScenarioSpec) -> Optional[NetConfig]:
+    p = spec.bed.loss_probability
+    return NetConfig(loss_probability=p) if p else None
+
+
+def _build_link_fault(lf, rngs: RngStreams, scenario_name: str):
+    """One live fault object from its spec, with a named RNG stream."""
+    params = dict(lf.params)
+    if lf.kind == "drop-frames":
+        return DropFrames(params.get("indices", ()))
+    rng = rngs.stream(lf.rng or f"{scenario_name}/{lf.attach}-{lf.direction}")
+    if lf.kind == "gilbert-elliott":
+        return GilbertElliott(rng, **params)
+    if lf.kind == "jitter":
+        return DelayJitter(rng, params.get("max_jitter_ns", 0))
+    return Duplicate(
+        rng, params.get("probability", 1.0), params.get("lag_ns", 0)
+    )
+
+
+class _BuiltFaults:
+    """The live fault objects one run armed, grouped for bookkeeping."""
+
+    def __init__(self) -> None:
+        self.ge: List[GilbertElliott] = []
+        self.dup: List[Duplicate] = []
+        self.drop: List[DropFrames] = []
+        self.by_port: Dict[Tuple[str, str], List[Any]] = {}
+
+    def add(self, host: str, direction: str, fault: Any) -> None:
+        if isinstance(fault, GilbertElliott):
+            self.ge.append(fault)
+        elif isinstance(fault, Duplicate):
+            self.dup.append(fault)
+        elif isinstance(fault, DropFrames):
+            self.drop.append(fault)
+        self.by_port.setdefault((host, direction), []).append(fault)
+
+    def port_faults(self) -> Dict[Tuple[str, str], Any]:
+        """One fault per (host, direction): chained when several stack."""
+        return {
+            key: (faults[0] if len(faults) == 1 else FaultChain(faults))
+            for key, faults in self.by_port.items()
+        }
+
+
+def _group_server_ops(events) -> List[Tuple[int, Tuple[Tuple[str, tuple], ...]]]:
+    """Per-server (method, args) lists, preserving event order."""
+    ops: Dict[int, List[Tuple[str, tuple]]] = {}
+    order: List[int] = []
+    for event in events:
+        if event.server not in ops:
+            ops[event.server] = []
+            order.append(event.server)
+        ops[event.server].append(event.schedule_ops())
+    return [(index, tuple(ops[index])) for index in order]
+
+
+def _arm_server_events(spec: ScenarioSpec, servers) -> List[ServerFaultSchedule]:
+    out = []
+    for index, ops in _group_server_ops(spec.server_events):
+        if index >= len(servers) or servers[index] is None:
+            raise ConfigError(
+                f"server event targets server {index}; scenario has "
+                f"{len(servers)} server(s)"
+            )
+        schedule = ServerFaultSchedule(servers[index])
+        for method, args in ops:
+            getattr(schedule, method)(*args)
+        out.append(schedule)
+    return out
+
+
+def _arm_probes(spec: ScenarioSpec, bed: TestBed) -> List[Dict[str, int]]:
+    snapshots: List[Dict[str, int]] = []
+    for probe in spec.probes:
+        snap: Dict[str, int] = {}
+
+        def take(snap: Dict[str, int] = snap) -> None:
+            file = _server_file(bed)
+            snap["client_acked_stable"] = bed.nfs.stats.bytes_acked_stable
+            snap["server_stable"] = file.stable_bytes if file else 0
+
+        bed.sim.schedule_at(probe.at_ns, take)
+        snapshots.append(snap)
+    return snapshots
+
+
+def _fault_extras(
+    payload: Dict[str, Any], spec: ScenarioSpec, built: _BuiltFaults
+) -> None:
+    """Per-fault-kind counters, added only when that kind is armed, so a
+    fault-free spec's payload matches the legacy clean-run shape."""
+    if built.ge:
+        payload["frames_dropped"] = sum(f.frames_dropped for f in built.ge)
+        payload["loss_bursts"] = sum(f.bursts for f in built.ge)
+    if built.dup:
+        payload["frames_duplicated"] = sum(f.duplicated for f in built.dup)
+    if built.drop:
+        payload["frames_scripted_dropped"] = sum(f.dropped for f in built.drop)
+
+
+def _starvation_extras(payload: Dict[str, Any], starvations) -> None:
+    for i, starve in enumerate(starvations):
+        suffix = "" if i == 0 else str(i)
+        payload[f"starved_at_ns{suffix}"] = starve.applied_at or 0
+        payload[f"restored_at_ns{suffix}"] = starve.restored_at or 0
+
+
+def _probe_extras(payload: Dict[str, Any], snapshots) -> None:
+    for i, snap in enumerate(snapshots):
+        suffix = "_at_crash" if i == 0 else f"_at_probe{i}"
+        payload[f"acked_stable{suffix}"] = snap.get("client_acked_stable", 0)
+        payload[f"server_stable{suffix}"] = snap.get("server_stable", 0)
+
+
+# -- single-bed execution ------------------------------------------------------
+
+
+def _single_attach(attach: str, bed: TestBed) -> str:
+    if attach in ("client", "client0"):
+        return "client"
+    if attach == "server":
+        return bed.server.name
+    return attach
+
+
+def _execute_single(spec: ScenarioSpec, seed: int):
+    bed = TestBed(
+        target=spec.bed.target,
+        client=spec.bed.client,
+        net=_net(spec),
+        mount=_mount(spec),
+    )
+    rngs = RngStreams(seed)
+    built = _BuiltFaults()
+    for lf in spec.link_faults:
+        built.add(
+            _single_attach(lf.attach, bed),
+            lf.direction,
+            _build_link_fault(lf, rngs, spec.name),
+        )
+    for (host, direction), fault in built.port_faults().items():
+        bed.switch.install_fault(host, **{direction: fault})
+    schedules = _arm_server_events(spec, [bed.server])
+    from ..faults.client import SlotStarvation
+
+    starvations = [
+        SlotStarvation(bed.sim, bed.nfs.xprt, e.start_ns, e.end_ns, slots=e.slots)
+        for e in spec.client_events
+    ]
+    snapshots = _arm_probes(spec, bed)
+    wl = spec.workload
+
+    if wl.expect == "eio":
+        eio_raised = False
+        try:
+            bed.run_sequential_write(
+                wl.file_bytes,
+                chunk_bytes=wl.chunk_bytes,
+                do_fsync=wl.do_fsync,
+                time_limit_ns=wl.time_limit_ns,
+            )
+        except EioError:
+            eio_raised = True
+        xs = bed.nfs.xprt.stats
+        payload: Dict[str, Any] = {
+            "eio_raised": eio_raised,
+            "failed_at_ns": bed.sim.now,
+            "major_timeouts": xs.major_timeouts,
+            "soft_failures": xs.soft_failures,
+            "retransmits": xs.retransmits,
+            "write_failures": bed.nfs.stats.write_failures,
+            "syscall_eio_errors": bed.syscalls.eio_errors,
+        }
+    else:
+        result = bed.run_sequential_write(
+            wl.file_bytes,
+            chunk_bytes=wl.chunk_bytes,
+            do_fsync=wl.do_fsync,
+            time_limit_ns=wl.time_limit_ns,
+        )
+        payload = _common_payload(bed, result)
+        _fault_extras(payload, spec, built)
+        _probe_extras(payload, snapshots)
+        if any(e.op in ("crash", "restart") for e in spec.server_events):
+            payload["boot_verf"] = bed.server.boot_verf
+        if any(e.op == "jukebox" for e in spec.server_events):
+            payload["jukebox_injected"] = bed.server.jukebox_injected
+            payload["jukebox_replies"] = bed.server.rpc.jukebox_replies
+        _starvation_extras(payload, starvations)
+
+    return payload, CheckContext(
+        spec, payload, bed=bed, starvations=starvations, schedules=schedules
+    )
+
+
+# -- fleet execution -----------------------------------------------------------
+
+
+def _fleet_job(spec: ScenarioSpec):
+    from ..topology import ClientSpec, ServerSpec
+    from ..topology.fleet import FleetJobSpec
+
+    wl = spec.workload
+    client = ClientSpec(
+        client=spec.bed.client, net=_net(spec), mount=_mount(spec)
+    )
+    return FleetJobSpec(
+        clients=client.replicate(spec.bed.clients),
+        servers=(ServerSpec(kind=spec.bed.target),),
+        file_bytes=wl.file_bytes,
+        chunk_bytes=wl.chunk_bytes,
+        do_fsync=wl.do_fsync,
+        stagger_ns=spec.bed.stagger_ns,
+        time_limit_ns=wl.time_limit_ns,
+    )
+
+
+def _fleet_attach(attach: str, names: List[str], server_names: List[str]) -> str:
+    if attach == "server":
+        return server_names[0]
+    if attach == "client" and len(names) > 1:
+        raise ConfigError(
+            'link fault attach "client" is ambiguous in a fleet; use '
+            '"client<i>"'
+        )
+    if attach == "client":
+        return names[0]
+    return attach
+
+
+def _fleet_faults(spec: ScenarioSpec, seed: int, job):
+    """A fresh FleetFaults (live fault objects, new RNG streams)."""
+    from ..parallel.des.plan import FleetFaults, client_names
+    from ..topology.build import _named_server_specs
+
+    names = client_names(job)
+    server_names = [s.name for s in _named_server_specs(job.servers)]
+    rngs = RngStreams(seed)
+    built = _BuiltFaults()
+    for lf in spec.link_faults:
+        built.add(
+            _fleet_attach(lf.attach, names, server_names),
+            lf.direction,
+            _build_link_fault(lf, rngs, spec.name),
+        )
+    for event in spec.server_events:
+        if event.server >= len(job.servers):
+            raise ConfigError(
+                f"server event targets server {event.server}; scenario "
+                f"has {len(job.servers)} server(s)"
+            )
+    faults = FleetFaults(
+        server_schedules=tuple(_group_server_ops(spec.server_events)),
+        client_events=tuple(
+            (e.client, (e.start_ns, e.end_ns, e.slots))
+            for e in spec.client_events
+        ),
+    )
+    for (host, direction), fault in built.port_faults().items():
+        getattr(faults, direction)[host] = fault
+    return faults, built
+
+
+def _execute_fleet(spec: ScenarioSpec, seed: int):
+    from ..topology.build import Topology
+    from ..topology.fleet import FleetWorkload, reduce_fleet
+
+    if spec.probes:
+        raise ConfigError("stability-snapshot probes are single-client only")
+    if spec.workload.expect == "eio":
+        raise ConfigError("eio expectation is single-client only")
+    job = _fleet_job(spec)
+    faults, built = _fleet_faults(spec, seed, job)
+    topo = Topology(clients=job.clients, servers=job.servers, switch=job.switch)
+    schedules = faults.apply_serial(topo)
+    workload = FleetWorkload(
+        topo,
+        job.file_bytes,
+        chunk_bytes=job.chunk_bytes,
+        do_fsync=job.do_fsync,
+        stagger_ns=job.stagger_ns,
+    )
+    fleet = workload.run(time_limit_ns=job.time_limit_ns)
+    point = reduce_fleet(fleet)
+    payload: Dict[str, Any] = {
+        "clients": point.clients,
+        "servers": point.servers,
+    }
+    _fault_extras(payload, spec, built)
+    if any(e.op in ("crash", "restart") for e in spec.server_events):
+        payload["boot_verf"] = [
+            s.boot_verf for s in topo.servers if s is not None
+        ]
+    ctx = CheckContext(
+        spec,
+        payload,
+        topology=topo,
+        point=point,
+        starvations=getattr(faults, "starvations", []),
+        schedules=schedules,
+    )
+    ctx.fleet_job = job
+    return payload, ctx
+
+
+# -- sweep execution -----------------------------------------------------------
+
+
+def _execute_sweep(spec: ScenarioSpec, seed: int):
+    if spec.fault_count() or spec.probes:
+        raise ConfigError("loss-rate sweeps take no fault schedule")
+    if spec.bed.clients != 1:
+        raise ConfigError("loss-rate sweeps are single-client only")
+    wl = spec.workload
+    rates = spec.sweep_loss_rates
+    payload: Dict[str, Any] = {"loss_rates": list(rates)}
+    elapsed: List[int] = []
+    for rate in rates:
+        bed = TestBed(
+            target=spec.bed.target,
+            client=spec.bed.client,
+            net=NetConfig(loss_probability=rate),
+            mount=_mount(spec),
+        )
+        result = bed.run_sequential_write(
+            wl.file_bytes,
+            chunk_bytes=wl.chunk_bytes,
+            do_fsync=wl.do_fsync,
+            time_limit_ns=wl.time_limit_ns,
+        )
+        elapsed.append(result.flush_elapsed_ns)
+        payload[f"flush_elapsed_ns@{rate}"] = result.flush_elapsed_ns
+        payload[f"retransmits@{rate}"] = bed.nfs.xprt.stats.retransmits
+        payload[f"trace_checksum@{rate}"] = _trace_checksum(result)
+    return payload, CheckContext(spec, payload, sweep_elapsed=elapsed)
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def _execute(spec: ScenarioSpec, seed: int):
+    """One full run → (payload, ctx, error).
+
+    Build-phase problems (bad spec references) raise; run-phase failures
+    (wedged simulation, unexpected EIO) are captured as ``error`` so the
+    fuzzer can treat them as findings and shrink them.
+    """
+    try:
+        if spec.sweep_loss_rates:
+            payload, ctx = _execute_sweep(spec, seed)
+        elif spec.bed.clients > 1:
+            payload, ctx = _execute_fleet(spec, seed)
+        else:
+            payload, ctx = _execute_single(spec, seed)
+        return payload, ctx, None
+    except ConfigError:
+        raise
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        return {"error": error}, None, error
+
+
+def failure_signature(invariants: List[Invariant]) -> Tuple[str, ...]:
+    """The sorted names of every failed invariant — the shrinker's
+    'same bug' predicate."""
+    return tuple(sorted(inv.name for inv in invariants if not inv.ok))
+
+
+def run_spec(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    verify_determinism: bool = True,
+    sanitize: bool = False,
+    shards: int = 0,
+    shard_transport: str = "inline",
+) -> ScenarioOutcome:
+    """Run one declarative scenario and audit its selected checks.
+
+    Mirrors :func:`repro.faults.scenarios.run_scenario`: with
+    ``verify_determinism`` the spec executes twice and both payload
+    fingerprints must match; with ``sanitize`` the first run executes
+    under the runtime sanitizers, adding the three ``sanitize-*`` rows.
+
+    ``shards >= 2`` (fleet specs only) additionally replays the same
+    spec — same seed, fresh faults — under the sharded parallel engine
+    and appends a ``serial-equivalence`` row comparing the two reduced
+    fleet fingerprints.
+    """
+    seed = spec.seed if seed is None else seed
+    san_session = None
+    with ExitStack() as stack:
+        if sanitize:
+            from ..analysis.sanitize import sanitized
+
+            san_session = stack.enter_context(sanitized())
+        payload, ctx, error = _execute(spec, seed)
+    invariants: List[Invariant] = []
+    if error is not None:
+        invariants.append(Invariant("completed", False, error))
+    else:
+        invariants.extend(run_checks(ctx))
+    if san_session is not None:
+        invariants.extend(_sanitizer_invariants(san_session))
+    fingerprint = _fingerprint(payload)
+    if verify_determinism:
+        replay, _, _ = _execute(spec, seed)
+        replay_fp = _fingerprint(replay)
+        invariants.append(
+            Invariant(
+                "deterministic",
+                replay_fp == fingerprint,
+                f"{fingerprint[:12]} vs replay {replay_fp[:12]}",
+            )
+        )
+    if shards >= 2 and spec.bed.clients > 1 and error is None:
+        from ..parallel.des import run_sharded_fleet
+
+        job = ctx.fleet_job
+        faults, _ = _fleet_faults(spec, seed, job)
+        sharded = run_sharded_fleet(
+            job, shards=shards, transport=shard_transport, faults=faults
+        )
+        serial_fp = ctx.point.run_fingerprint()
+        sharded_fp = sharded.point.run_fingerprint()
+        invariants.append(
+            Invariant(
+                "serial-equivalence",
+                sharded_fp == serial_fp,
+                f"serial {serial_fp[:12]} vs {shards}-shard {sharded_fp[:12]}",
+            )
+        )
+    return ScenarioOutcome(
+        name=spec.name,
+        seed=seed,
+        payload=payload,
+        invariants=invariants,
+        fingerprint=fingerprint,
+    )

@@ -1,0 +1,364 @@
+"""Scenario-file schema: a stdlib JSON-schema subset + placeholders.
+
+Scenario files (``scenarios/*.json``) are validated against
+:data:`SCENARIO_SCHEMA` before anything is built.  The validator
+implements the subset of JSON Schema the scenario format needs —
+``type``, ``properties``, ``required``, ``additionalProperties``,
+``items``, ``enum``, ``minimum``/``maximum``/``exclusiveMinimum``,
+``minItems`` and ``oneOf`` — with JSON-path error messages, so a typo'd
+scenario fails loudly at load time instead of deep inside a run.
+
+Before validation, ``{{ PLACEHOLDER }}`` markers are substituted from
+environment variables (proto2testbed's ``testbed.json`` convention): a
+string that is exactly one placeholder takes the variable's value
+coerced to int/float/bool when it parses as one, and placeholders
+embedded in longer strings substitute textually.  A placeholder with no
+matching environment variable aborts the load.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIO_SCHEMA",
+    "SchemaError",
+    "validate",
+    "substitute_placeholders",
+]
+
+#: Version tag scenario files must carry; bump when the format changes.
+SCHEMA_VERSION = 1
+
+_PLACEHOLDER = re.compile(r"\{\{\s*([A-Za-z_][A-Za-z0-9_]*)\s*\}\}")
+
+
+class SchemaError(ConfigError):
+    """A scenario file that does not match the schema."""
+
+
+def _coerce(raw: str) -> Any:
+    """Full-string placeholder values become numbers/bools when they
+    parse as one (env vars are always strings)."""
+    low = raw.strip().lower()
+    if low in ("true", "false"):
+        return low == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def substitute_placeholders(
+    node: Any, env: Optional[Dict[str, str]] = None, path: str = "$"
+) -> Any:
+    """Replace every ``{{ NAME }}`` in ``node`` from ``env``.
+
+    ``env`` defaults to ``os.environ``.  Missing variables raise a
+    :class:`SchemaError` naming the placeholder and its JSON path.
+    """
+    if env is None:
+        env = dict(os.environ)
+    if isinstance(node, dict):
+        return {
+            key: substitute_placeholders(value, env, f"{path}.{key}")
+            for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [
+            substitute_placeholders(item, env, f"{path}[{i}]")
+            for i, item in enumerate(node)
+        ]
+    if not isinstance(node, str):
+        return node
+    full = _PLACEHOLDER.fullmatch(node.strip())
+    if full:
+        name = full.group(1)
+        if name not in env:
+            raise SchemaError(
+                f"{path}: placeholder {{{{ {name} }}}} has no matching "
+                "environment variable"
+            )
+        return _coerce(env[name])
+
+    def replace(match: "re.Match[str]") -> str:
+        name = match.group(1)
+        if name not in env:
+            raise SchemaError(
+                f"{path}: placeholder {{{{ {name} }}}} has no matching "
+                "environment variable"
+            )
+        return env[name]
+
+    return _PLACEHOLDER.sub(replace, node)
+
+
+# -- validator ----------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, type_name: str) -> bool:
+    expected = _TYPES[type_name]
+    if type_name in ("integer", "number") and isinstance(value, bool):
+        return False  # bool is an int subclass; schemas mean real numbers
+    return isinstance(value, expected)
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
+    """Check ``instance`` against the schema subset; raise on mismatch."""
+    if "oneOf" in schema:
+        errors: List[str] = []
+        for i, alt in enumerate(schema["oneOf"]):
+            try:
+                validate(instance, alt, path)
+                return
+            except SchemaError as exc:
+                errors.append(f"[{i}] {exc}")
+        raise SchemaError(f"{path}: matched none of oneOf ({'; '.join(errors)})")
+    type_name = schema.get("type")
+    if type_name is not None:
+        names = type_name if isinstance(type_name, list) else [type_name]
+        if not any(_type_ok(instance, n) for n in names):
+            raise SchemaError(
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} not one of {schema['enum']}"
+        )
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            raise SchemaError(f"{path}: {instance} < minimum {schema['minimum']}")
+        if "exclusiveMinimum" in schema and instance <= schema["exclusiveMinimum"]:
+            raise SchemaError(
+                f"{path}: {instance} <= exclusiveMinimum "
+                f"{schema['exclusiveMinimum']}"
+            )
+        if "maximum" in schema and instance > schema["maximum"]:
+            raise SchemaError(f"{path}: {instance} > maximum {schema['maximum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            unknown = sorted(set(instance) - set(properties))
+            if unknown:
+                raise SchemaError(
+                    f"{path}: unknown key(s) {', '.join(map(repr, unknown))} "
+                    f"(expected a subset of {sorted(properties)})"
+                )
+        for key, sub in properties.items():
+            if key in instance:
+                validate(instance[key], sub, f"{path}.{key}")
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            raise SchemaError(
+                f"{path}: needs at least {schema['minItems']} item(s), "
+                f"has {len(instance)}"
+            )
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(instance):
+                validate(item, items, f"{path}[{i}]")
+
+
+# -- the scenario schema -------------------------------------------------------
+
+_NONNEG = {"type": "integer", "minimum": 0}
+_POS = {"type": "integer", "exclusiveMinimum": 0}
+_PROB = {"type": "number", "minimum": 0, "maximum": 1}
+
+_MOUNT_SCHEMA = {
+    "type": "object",
+    "additionalProperties": False,
+    "properties": {
+        "wsize": _POS,
+        "rsize": _POS,
+        "nfs_version": {"type": "integer", "enum": [2, 3]},
+        "timeo_ns": _POS,
+        "retrans": _POS,
+        "soft": {"type": "boolean"},
+        "adaptive_timeo": {"type": "boolean"},
+        "jukebox_delay_ns": _NONNEG,
+        "readahead_pages": _NONNEG,
+    },
+}
+
+_LINK_FAULT_SCHEMA = {
+    "type": "object",
+    "required": ["kind", "attach", "direction"],
+    "additionalProperties": False,
+    "properties": {
+        "kind": {
+            "type": "string",
+            "enum": ["gilbert-elliott", "jitter", "duplicate", "drop-frames"],
+        },
+        #: "client" / "client<i>" / "server" / an explicit host name.
+        "attach": {"type": "string"},
+        "direction": {"type": "string", "enum": ["uplink", "downlink"]},
+        #: RNG stream name; defaults to "<scenario>/<attach>-<direction>".
+        "rng": {"type": "string"},
+        "p_good_to_bad": _PROB,
+        "p_bad_to_good": _PROB,
+        "loss_good": _PROB,
+        "loss_bad": _PROB,
+        "max_jitter_ns": _NONNEG,
+        "probability": _PROB,
+        "lag_ns": _NONNEG,
+        "indices": {"type": "array", "items": _NONNEG},
+    },
+}
+
+_SERVER_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["op"],
+    "additionalProperties": False,
+    "properties": {
+        "op": {
+            "type": "string",
+            "enum": ["pause", "crash", "restart", "jukebox"],
+        },
+        "server": _NONNEG,
+        "at_ns": _NONNEG,
+        "start_ns": _NONNEG,
+        "end_ns": _NONNEG,
+        "lose_drc": {"type": "boolean"},
+    },
+}
+
+_CLIENT_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["kind", "start_ns", "end_ns"],
+    "additionalProperties": False,
+    "properties": {
+        "kind": {"type": "string", "enum": ["slot-starvation"]},
+        "client": _NONNEG,
+        "start_ns": _NONNEG,
+        "end_ns": _NONNEG,
+        "slots": _POS,
+    },
+}
+
+_PROBE_SCHEMA = {
+    "type": "object",
+    "required": ["kind", "at_ns"],
+    "additionalProperties": False,
+    "properties": {
+        "kind": {"type": "string", "enum": ["stability-snapshot"]},
+        "at_ns": _NONNEG,
+    },
+}
+
+_CHECK_SCHEMA = {
+    "type": "object",
+    "required": ["kind"],
+    "additionalProperties": False,
+    "properties": {
+        "kind": {"type": "string"},
+        #: Free-form per-check parameters (e.g. {"min": 4}).
+        "params": {"type": "object"},
+    },
+}
+
+SCENARIO_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "name", "bed", "workload"],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"type": "string", "enum": [f"repro-nfs/scenario@{SCHEMA_VERSION}"]},
+        "name": {"type": "string"},
+        "description": {"type": "string"},
+        "seed": _NONNEG,
+        "bed": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "target": {
+                    "type": "string",
+                    "enum": ["netapp", "linux", "linux-100"],
+                },
+                "client": {"type": "string"},
+                "clients": _POS,
+                "mount": _MOUNT_SCHEMA,
+                "loss_probability": _PROB,
+                "stagger_ns": _NONNEG,
+            },
+        },
+        "workload": {
+            "type": "object",
+            "required": ["file_bytes"],
+            "additionalProperties": False,
+            "properties": {
+                "file_bytes": _POS,
+                "chunk_bytes": _POS,
+                "do_fsync": {"type": "boolean"},
+                "time_limit_ns": _POS,
+                "expect": {"type": "string", "enum": ["complete", "eio"]},
+            },
+        },
+        "faults": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "link": {"type": "array", "items": _LINK_FAULT_SCHEMA},
+                "server": {"type": "array", "items": _SERVER_EVENT_SCHEMA},
+                "client": {"type": "array", "items": _CLIENT_EVENT_SCHEMA},
+            },
+        },
+        "probes": {"type": "array", "items": _PROBE_SCHEMA},
+        "checks": {"type": "array", "items": _CHECK_SCHEMA},
+        #: monotone sweeps: the whole scenario re-runs per loss rate.
+        "sweep": {
+            "type": "object",
+            "required": ["loss_rates"],
+            "additionalProperties": False,
+            "properties": {
+                "loss_rates": {
+                    "type": "array",
+                    "items": _PROB,
+                    "minItems": 1,
+                },
+            },
+        },
+        "expect": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "pass": {"type": "boolean"},
+                "failed": {"type": "array", "items": {"type": "string"}},
+                "fingerprint": {"type": "string"},
+            },
+        },
+        #: Fuzzer bookkeeping for auto-saved regressions.
+        "provenance": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "fuzz_seed": _NONNEG,
+                "draw": _NONNEG,
+                "shrink_steps": _NONNEG,
+                "shrink_trace": {"type": "array", "items": {"type": "string"}},
+            },
+        },
+    },
+}

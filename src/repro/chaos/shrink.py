@@ -1,0 +1,239 @@
+"""Deterministic delta-debugging shrinker for failing scenarios.
+
+Given a failing :class:`~repro.chaos.spec.ScenarioSpec` and an *oracle*
+(spec → failure signature, the sorted tuple of failed invariant names),
+the shrinker greedily minimises the schedule while the signature stays
+exactly the same — the classic ddmin "same bug" predicate, which stops
+a shrink step from trading the original violation for a different one.
+
+The pass order is fixed and every candidate is a pure function of the
+current spec, so shrinking the same failure twice produces the same
+minimal reproducer — the determinism contract extends to debugging:
+
+1. drop link faults, one at a time;
+2. drop server events;
+3. drop client events;
+4. drop probes;
+5. shed clients (fleet specs halve toward one client);
+6. halve durations and windows (event times, fault windows, file size).
+
+Passes repeat to a fixpoint: removing one event often makes another
+removable.  Every accepted step lands in the trace, which regression
+scenarios carry in their ``provenance`` block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .spec import ScenarioSpec
+
+__all__ = ["ShrinkResult", "shrink"]
+
+#: spec → sorted failed-invariant names (empty tuple = spec passes).
+Oracle = Callable[[ScenarioSpec], Tuple[str, ...]]
+
+#: A candidate: (description, shrunk spec) — or None when inapplicable.
+Candidate = Optional[Tuple[str, ScenarioSpec]]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal reproducer one shrink run converged to."""
+
+    spec: ScenarioSpec
+    #: The failure signature every accepted step preserved.
+    signature: Tuple[str, ...]
+    #: Accepted shrink steps (the trace's length).
+    steps: int
+    #: Total oracle invocations, accepted or not.
+    attempts: int
+    trace: List[str]
+
+
+def _drop(seq: tuple, index: int) -> tuple:
+    return seq[:index] + seq[index + 1 :]
+
+
+def _drop_candidates(spec: ScenarioSpec) -> List[Candidate]:
+    """Passes 1–4: every single-element removal, in schedule order."""
+    out: List[Candidate] = []
+    for i, lf in enumerate(spec.link_faults):
+        out.append(
+            (
+                f"drop link fault [{i}] {lf.kind}@{lf.attach}/{lf.direction}",
+                spec.replace(link_faults=_drop(spec.link_faults, i)),
+            )
+        )
+    for i, ev in enumerate(spec.server_events):
+        out.append(
+            (
+                f"drop server event [{i}] {ev.op}",
+                spec.replace(server_events=_drop(spec.server_events, i)),
+            )
+        )
+    for i, ev in enumerate(spec.client_events):
+        out.append(
+            (
+                f"drop client event [{i}] {ev.kind}",
+                spec.replace(client_events=_drop(spec.client_events, i)),
+            )
+        )
+    for i, probe in enumerate(spec.probes):
+        out.append(
+            (
+                f"drop probe [{i}] {probe.kind}",
+                spec.replace(probes=_drop(spec.probes, i)),
+            )
+        )
+    return out
+
+
+def _client_candidates(spec: ScenarioSpec) -> List[Candidate]:
+    """Pass 5: halve the fleet toward a single client."""
+    out: List[Candidate] = []
+    clients = spec.bed.clients
+    if clients > 1:
+        target = max(1, clients // 2)
+        # Events targeting shed clients must retarget or the smaller
+        # fleet rejects them; map them all onto the surviving range.
+        events = tuple(
+            ev if ev.client < target else dataclasses.replace(ev, client=0)
+            for ev in spec.client_events
+        )
+        out.append(
+            (
+                f"shed clients {clients} -> {target}",
+                spec.replace(
+                    bed=dataclasses.replace(spec.bed, clients=target),
+                    client_events=events,
+                ),
+            )
+        )
+    return out
+
+
+def _halve_candidates(spec: ScenarioSpec) -> List[Candidate]:
+    """Pass 6: halve event times, fault windows, and the file size."""
+    out: List[Candidate] = []
+    for i, ev in enumerate(spec.server_events):
+        if ev.at_ns is not None and ev.at_ns > 1:
+            out.append(
+                (
+                    f"halve server event [{i}] at_ns {ev.at_ns} -> {ev.at_ns // 2}",
+                    spec.replace(
+                        server_events=spec.server_events[:i]
+                        + (dataclasses.replace(ev, at_ns=ev.at_ns // 2),)
+                        + spec.server_events[i + 1 :]
+                    ),
+                )
+            )
+        if ev.start_ns is not None and ev.end_ns is not None:
+            duration = ev.end_ns - ev.start_ns
+            if duration > 1:
+                out.append(
+                    (
+                        f"halve server event [{i}] window {duration} -> "
+                        f"{duration // 2}",
+                        spec.replace(
+                            server_events=spec.server_events[:i]
+                            + (
+                                dataclasses.replace(
+                                    ev, end_ns=ev.start_ns + duration // 2
+                                ),
+                            )
+                            + spec.server_events[i + 1 :]
+                        ),
+                    )
+                )
+    for i, ev in enumerate(spec.client_events):
+        duration = ev.end_ns - ev.start_ns
+        if duration > 1:
+            out.append(
+                (
+                    f"halve client event [{i}] window {duration} -> "
+                    f"{duration // 2}",
+                    spec.replace(
+                        client_events=spec.client_events[:i]
+                        + (
+                            dataclasses.replace(
+                                ev, end_ns=ev.start_ns + duration // 2
+                            ),
+                        )
+                        + spec.client_events[i + 1 :]
+                    ),
+                )
+            )
+    wl = spec.workload
+    if wl.file_bytes // 2 >= wl.chunk_bytes:
+        out.append(
+            (
+                f"halve file_bytes {wl.file_bytes} -> {wl.file_bytes // 2}",
+                spec.replace(
+                    workload=dataclasses.replace(
+                        wl, file_bytes=wl.file_bytes // 2
+                    )
+                ),
+            )
+        )
+    return out
+
+
+_PASSES = (_drop_candidates, _client_candidates, _halve_candidates)
+
+
+def shrink(
+    spec: ScenarioSpec,
+    oracle: Oracle,
+    signature: Optional[Tuple[str, ...]] = None,
+    max_attempts: int = 200,
+) -> ShrinkResult:
+    """Minimise ``spec`` while ``oracle`` keeps returning ``signature``.
+
+    ``signature`` defaults to the oracle's verdict on the input spec; a
+    passing input (empty signature) is a usage error.  ``max_attempts``
+    bounds total oracle invocations so a pathological schedule cannot
+    shrink forever; the best spec so far is returned either way.
+    """
+    if signature is None:
+        signature = oracle(spec)
+    if not signature:
+        raise ConfigError("cannot shrink a passing scenario")
+    signature = tuple(sorted(signature))
+    attempts = 0
+    trace: List[str] = []
+    current = spec
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for make_candidates in _PASSES:
+            # Restart the pass after every accepted step: indices shift
+            # under removal, and candidates are pure functions of the
+            # *current* spec.
+            accepted = True
+            while accepted and attempts < max_attempts:
+                accepted = False
+                for description, candidate in make_candidates(current):
+                    if attempts >= max_attempts:
+                        break
+                    attempts += 1
+                    try:
+                        verdict = oracle(candidate)
+                    except ConfigError:
+                        continue  # candidate invalidated a reference
+                    if tuple(sorted(verdict)) == signature:
+                        current = candidate
+                        trace.append(description)
+                        accepted = True
+                        improved = True
+                        break
+    return ShrinkResult(
+        spec=current,
+        signature=signature,
+        steps=len(trace),
+        attempts=attempts,
+        trace=trace,
+    )

@@ -1,0 +1,491 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the in-memory form of one ``scenario.json``
+file: plain frozen-ish dataclasses describing the bed (target, client
+variant, mount options, client count), the workload, the fault schedule
+(link faults, timed server events, client-side events), probes, and the
+invariant checks to audit afterwards.  Specs round-trip losslessly
+through :meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`,
+which is what the fuzzer's shrinker and the corpus replay lean on.
+
+Everything is data: no live simulator objects, no RNGs — those are
+materialised per run by :mod:`repro.chaos.runner`, so one spec can be
+run, re-run, shrunk, and serialised without state leaking between runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..units import seconds
+from .schema import (
+    SCENARIO_SCHEMA,
+    SCHEMA_VERSION,
+    substitute_placeholders,
+    validate,
+)
+
+__all__ = [
+    "LinkFaultSpec",
+    "ServerEventSpec",
+    "ClientEventSpec",
+    "ProbeSpec",
+    "CheckSpec",
+    "BedSpec",
+    "WorkloadSpec",
+    "ExpectSpec",
+    "ScenarioSpec",
+    "load_scenario",
+    "loads_scenario",
+]
+
+#: Parameters each link-fault kind accepts (see repro.faults.link).
+_LINK_KIND_PARAMS = {
+    "gilbert-elliott": ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"),
+    "jitter": ("max_jitter_ns",),
+    "duplicate": ("probability", "lag_ns"),
+    "drop-frames": ("indices",),
+}
+
+
+def _prune(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop None values so serialised specs stay minimal."""
+    return {k: v for k, v in d.items() if v is not None}
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """One per-frame fault on one direction of one host's link."""
+
+    kind: str
+    attach: str  # "client", "client<i>", "server", or a host name
+    direction: str  # "uplink" | "downlink"
+    rng: Optional[str] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _LINK_KIND_PARAMS:
+            raise ConfigError(f"unknown link fault kind {self.kind!r}")
+        if self.direction not in ("uplink", "downlink"):
+            raise ConfigError(f"bad link fault direction {self.direction!r}")
+        allowed = _LINK_KIND_PARAMS[self.kind]
+        for key, _ in self.params:
+            if key not in allowed:
+                raise ConfigError(
+                    f"{self.kind} link fault does not take {key!r} "
+                    f"(expected a subset of {allowed})"
+                )
+
+    def param_dict(self) -> Dict[str, Any]:
+        return {k: (list(v) if isinstance(v, tuple) else v) for k, v in self.params}
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "attach": self.attach,
+            "direction": self.direction,
+        }
+        if self.rng is not None:
+            out["rng"] = self.rng
+        out.update(self.param_dict())
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "LinkFaultSpec":
+        params = tuple(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in sorted(d.items())
+            if k not in ("kind", "attach", "direction", "rng")
+        )
+        return cls(
+            kind=d["kind"],
+            attach=d["attach"],
+            direction=d["direction"],
+            rng=d.get("rng"),
+            params=params,
+        )
+
+
+@dataclass(frozen=True)
+class ServerEventSpec:
+    """One timed server fault: pause/crash/restart/jukebox."""
+
+    op: str
+    server: int = 0
+    at_ns: Optional[int] = None  # crash / restart
+    start_ns: Optional[int] = None  # pause / jukebox windows
+    end_ns: Optional[int] = None
+    lose_drc: bool = True
+
+    def __post_init__(self) -> None:
+        if self.op in ("crash", "restart"):
+            if self.at_ns is None:
+                raise ConfigError(f"server {self.op} event needs at_ns")
+        elif self.op in ("pause", "jukebox"):
+            if self.start_ns is None or self.end_ns is None:
+                raise ConfigError(f"server {self.op} event needs start_ns/end_ns")
+        else:
+            raise ConfigError(f"unknown server fault op {self.op!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = _prune(
+            {
+                "op": self.op,
+                "at_ns": self.at_ns,
+                "start_ns": self.start_ns,
+                "end_ns": self.end_ns,
+            }
+        )
+        if self.server:
+            out["server"] = self.server
+        if self.op == "crash" and not self.lose_drc:
+            out["lose_drc"] = False
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ServerEventSpec":
+        return cls(
+            op=d["op"],
+            server=d.get("server", 0),
+            at_ns=d.get("at_ns"),
+            start_ns=d.get("start_ns"),
+            end_ns=d.get("end_ns"),
+            lose_drc=d.get("lose_drc", True),
+        )
+
+    def schedule_ops(self) -> Tuple[str, tuple]:
+        """The (method, args) pair a ServerFaultSchedule replays."""
+        if self.op == "crash":
+            return ("crash_at", (self.at_ns, self.lose_drc))
+        if self.op == "restart":
+            return ("restart_at", (self.at_ns,))
+        if self.op == "pause":
+            return ("pause_between", (self.start_ns, self.end_ns))
+        return ("jukebox_between", (self.start_ns, self.end_ns))
+
+
+@dataclass(frozen=True)
+class ClientEventSpec:
+    """One client-side fault window (RPC slot starvation)."""
+
+    kind: str = "slot-starvation"
+    client: int = 0
+    start_ns: int = 0
+    end_ns: int = 0
+    slots: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind != "slot-starvation":
+            raise ConfigError(f"unknown client fault kind {self.kind!r}")
+        if self.end_ns <= self.start_ns:
+            raise ConfigError("client fault window must have positive duration")
+        if self.slots < 1:
+            raise ConfigError("cannot starve below one slot")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+        if self.client:
+            out["client"] = self.client
+        if self.slots != 1:
+            out["slots"] = self.slots
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ClientEventSpec":
+        return cls(
+            kind=d["kind"],
+            client=d.get("client", 0),
+            start_ns=d["start_ns"],
+            end_ns=d["end_ns"],
+            slots=d.get("slots", 1),
+        )
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """A scheduled payload snapshot (pre-crash durability bookkeeping)."""
+
+    kind: str = "stability-snapshot"
+    at_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind != "stability-snapshot":
+            raise ConfigError(f"unknown probe kind {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at_ns": self.at_ns}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ProbeSpec":
+        return cls(kind=d["kind"], at_ns=d["at_ns"])
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """One invariant check by registry name, with parameters."""
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CheckSpec":
+        return cls(
+            kind=d["kind"],
+            params=tuple(sorted(d.get("params", {}).items())),
+        )
+
+
+@dataclass(frozen=True)
+class BedSpec:
+    """The machine assembly one scenario runs on."""
+
+    target: str = "netapp"
+    client: str = "stock"
+    #: 1 = single TestBed; >1 = a fleet Topology of identical clients.
+    clients: int = 1
+    mount: Tuple[Tuple[str, Any], ...] = ()
+    #: Per-frame switch loss (NetConfig.loss_probability).
+    loss_probability: float = 0.0
+    stagger_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigError("bed needs at least one client")
+        if self.stagger_ns < 0:
+            raise ConfigError("stagger_ns must be >= 0")
+
+    def mount_dict(self) -> Dict[str, Any]:
+        return dict(self.mount)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"target": self.target, "client": self.client}
+        if self.clients != 1:
+            out["clients"] = self.clients
+        if self.mount:
+            out["mount"] = dict(self.mount)
+        if self.loss_probability:
+            out["loss_probability"] = self.loss_probability
+        if self.stagger_ns:
+            out["stagger_ns"] = self.stagger_ns
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "BedSpec":
+        return cls(
+            target=d.get("target", "netapp"),
+            client=d.get("client", "stock"),
+            clients=d.get("clients", 1),
+            mount=tuple(sorted(d.get("mount", {}).items())),
+            loss_probability=d.get("loss_probability", 0.0),
+            stagger_ns=d.get("stagger_ns", 0),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The sequential-write benchmark parameters."""
+
+    file_bytes: int
+    chunk_bytes: int = 8192
+    do_fsync: bool = True
+    time_limit_ns: int = seconds(600)
+    #: "complete" — the run must finish durably; "eio" — the workload is
+    #: expected to fail with EIO (soft-mount scenarios).
+    expect: str = "complete"
+
+    def __post_init__(self) -> None:
+        if self.file_bytes <= 0:
+            raise ConfigError("file_bytes must be positive")
+        if self.expect not in ("complete", "eio"):
+            raise ConfigError(f"unknown workload expectation {self.expect!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"file_bytes": self.file_bytes}
+        if self.chunk_bytes != 8192:
+            out["chunk_bytes"] = self.chunk_bytes
+        if not self.do_fsync:
+            out["do_fsync"] = False
+        if self.time_limit_ns != seconds(600):
+            out["time_limit_ns"] = self.time_limit_ns
+        if self.expect != "complete":
+            out["expect"] = self.expect
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "WorkloadSpec":
+        return cls(
+            file_bytes=d["file_bytes"],
+            chunk_bytes=d.get("chunk_bytes", 8192),
+            do_fsync=d.get("do_fsync", True),
+            time_limit_ns=d.get("time_limit_ns", seconds(600)),
+            expect=d.get("expect", "complete"),
+        )
+
+
+@dataclass(frozen=True)
+class ExpectSpec:
+    """The corpus contract: what replaying this file must produce."""
+
+    passed: Optional[bool] = None
+    failed: Tuple[str, ...] = ()
+    fingerprint: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.passed is not None:
+            out["pass"] = self.passed
+        if self.failed:
+            out["failed"] = list(self.failed)
+        if self.fingerprint is not None:
+            out["fingerprint"] = self.fingerprint
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExpectSpec":
+        return cls(
+            passed=d.get("pass"),
+            failed=tuple(d.get("failed", ())),
+            fingerprint=d.get("fingerprint"),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete declarative chaos scenario."""
+
+    name: str
+    bed: BedSpec
+    workload: WorkloadSpec
+    description: str = ""
+    seed: int = 1
+    link_faults: Tuple[LinkFaultSpec, ...] = ()
+    server_events: Tuple[ServerEventSpec, ...] = ()
+    client_events: Tuple[ClientEventSpec, ...] = ()
+    probes: Tuple[ProbeSpec, ...] = ()
+    checks: Tuple[CheckSpec, ...] = ()
+    #: Loss-rate sweep: the bed re-runs once per rate (monotone-loss).
+    sweep_loss_rates: Tuple[float, ...] = ()
+    expect: ExpectSpec = field(default_factory=ExpectSpec)
+    provenance: Tuple[Tuple[str, Any], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "schema": f"repro-nfs/scenario@{SCHEMA_VERSION}",
+            "name": self.name,
+        }
+        if self.description:
+            out["description"] = self.description
+        out["seed"] = self.seed
+        out["bed"] = self.bed.to_dict()
+        out["workload"] = self.workload.to_dict()
+        faults: Dict[str, Any] = {}
+        if self.link_faults:
+            faults["link"] = [f.to_dict() for f in self.link_faults]
+        if self.server_events:
+            faults["server"] = [e.to_dict() for e in self.server_events]
+        if self.client_events:
+            faults["client"] = [e.to_dict() for e in self.client_events]
+        if faults:
+            out["faults"] = faults
+        if self.probes:
+            out["probes"] = [p.to_dict() for p in self.probes]
+        if self.checks:
+            out["checks"] = [c.to_dict() for c in self.checks]
+        if self.sweep_loss_rates:
+            out["sweep"] = {"loss_rates": list(self.sweep_loss_rates)}
+        expect = self.expect.to_dict()
+        if expect:
+            out["expect"] = expect
+        if self.provenance:
+            out["provenance"] = {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in self.provenance
+            }
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ScenarioSpec":
+        validate(d, SCENARIO_SCHEMA)
+        faults = d.get("faults", {})
+        provenance = tuple(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in sorted(d.get("provenance", {}).items())
+        )
+        return cls(
+            name=d["name"],
+            description=d.get("description", ""),
+            seed=d.get("seed", 1),
+            bed=BedSpec.from_dict(d["bed"]),
+            workload=WorkloadSpec.from_dict(d["workload"]),
+            link_faults=tuple(
+                LinkFaultSpec.from_dict(f) for f in faults.get("link", ())
+            ),
+            server_events=tuple(
+                ServerEventSpec.from_dict(e) for e in faults.get("server", ())
+            ),
+            client_events=tuple(
+                ClientEventSpec.from_dict(e) for e in faults.get("client", ())
+            ),
+            probes=tuple(ProbeSpec.from_dict(p) for p in d.get("probes", ())),
+            checks=tuple(CheckSpec.from_dict(c) for c in d.get("checks", ())),
+            sweep_loss_rates=tuple(d.get("sweep", {}).get("loss_rates", ())),
+            expect=ExpectSpec.from_dict(d.get("expect", {})),
+            provenance=provenance,
+        )
+
+    # -- shrinker-facing surgery ----------------------------------------------
+
+    def replace(self, **kwargs: Any) -> "ScenarioSpec":
+        return dataclasses.replace(self, **kwargs)
+
+    def fault_count(self) -> int:
+        return (
+            len(self.link_faults)
+            + len(self.server_events)
+            + len(self.client_events)
+        )
+
+
+def loads_scenario(
+    text: str, env: Optional[Dict[str, str]] = None
+) -> ScenarioSpec:
+    """Parse one scenario from JSON text: substitute, validate, build."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"scenario is not valid JSON: {exc}") from None
+    raw = substitute_placeholders(raw, env)
+    return ScenarioSpec.from_dict(raw)
+
+
+def load_scenario(path: str, env: Optional[Dict[str, str]] = None) -> ScenarioSpec:
+    """Load, substitute, validate, and build one ``scenario.json``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read scenario {path!r}: {exc}") from None
+    try:
+        return loads_scenario(text, env)
+    except ConfigError as exc:
+        raise ConfigError(f"{path}: {exc}") from None

@@ -7,6 +7,9 @@ Examples::
     repro-nfs run all --quick
     repro-nfs run fig1 fig7 --scale 8
     repro-nfs run fig1 --full        # paper-size sweep (slow)
+    repro-nfs run scenarios/lossy-burst.json   # declarative chaos scenario
+    repro-nfs corpus                 # replay the whole scenario corpus
+    repro-nfs fuzz --seed 1 --draws 25 --save-dir scenarios
     repro-nfs fleet --clients 8 --target netapp
     repro-nfs fleet --clients 4 --target linux --sanitize
     repro-nfs faults --list
@@ -41,11 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list reproducible tables/figures")
-    run = sub.add_parser("run", help="run one or more experiments")
+    run = sub.add_parser(
+        "run", help="run experiments or declarative scenario files"
+    )
     run.add_argument(
         "ids",
         nargs="+",
-        help=f"experiment ids ({', '.join(experiment_ids())}) or 'all'",
+        help=f"experiment ids ({', '.join(experiment_ids())}), 'all', "
+        "or scenario.json paths",
     )
     run.add_argument(
         "--scale",
@@ -94,6 +100,84 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="result cache location (default: $REPRO_NFS_CACHE_DIR or "
         "~/.cache/repro-nfs)",
+    )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="scenario files only: run under the runtime sanitizers",
+    )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="scenario files only: replay fleet scenarios as N parallel "
+        "DES shards and audit serial equivalence (default 0 = skip)",
+    )
+    corpus = sub.add_parser(
+        "corpus",
+        help="replay every scenario in the corpus against its pinned "
+        "expectations (verdicts + fingerprints)",
+    )
+    corpus.add_argument(
+        "--dir",
+        default="scenarios",
+        dest="corpus_dir",
+        metavar="DIR",
+        help="corpus root (default: scenarios)",
+    )
+    corpus.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run each scenario under the runtime sanitizers",
+    )
+    corpus.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the second run that checks bit-for-bit determinism",
+    )
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run the seeded fault-schedule fuzzer; violations are "
+        "delta-debug shrunk to minimal reproducers",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=1, help="fuzz campaign seed (default 1)"
+    )
+    fuzz.add_argument(
+        "--draws",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of random scenarios to draw (default 25)",
+    )
+    fuzz.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="shard count for fleet draws' serial-equivalence audit "
+        "(default 2; 0 = skip)",
+    )
+    fuzz.add_argument(
+        "--no-sanitize",
+        action="store_true",
+        help="skip the runtime sanitizers (faster, weaker oracle)",
+    )
+    fuzz.add_argument(
+        "--save-dir",
+        default=None,
+        metavar="DIR",
+        help="corpus root to auto-save shrunk findings under "
+        "DIR/regressions/",
+    )
+    fuzz.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="write the campaign report (draws, verdicts, findings) as "
+        "JSON to PATH",
     )
     fleet = sub.add_parser(
         "fleet",
@@ -582,6 +666,135 @@ def run_fault_scenarios(
     return all_passed
 
 
+def _write_invariants(invariants, out) -> None:
+    for inv in invariants:
+        mark = "ok" if inv.ok else "VIOLATED"
+        detail = f" — {inv.detail}" if inv.detail and not inv.ok else ""
+        out.write(f"  [{mark:8s}] {inv.name}{detail}\n")
+
+
+def run_scenario_files(
+    paths: List[str], sanitize: bool = False, shards: int = 0, out=None
+) -> bool:
+    """``repro-nfs run <scenario.json>``: replay declarative scenarios.
+
+    Each file is schema-validated, placeholder-substituted from the
+    environment, run under its selected checks, and — when it carries an
+    ``expect`` block — audited against its pinned verdicts and
+    fingerprint.  Any failed invariant or expectation drift fails the
+    command (non-zero exit).
+    """
+    from ..chaos import replay_file
+
+    if out is None:
+        out = sys.stdout
+    all_ok = True
+    for path in paths:
+        started = time.time()  # noqa: DET102 - wall-clock reporting only
+        replay = replay_file(path, sanitize=sanitize, shards=shards)
+        elapsed = time.time() - started  # noqa: DET102
+        verdict = "PASS" if replay.verdict_ok else "FAIL"
+        out.write(
+            f"{verdict} {replay.spec.name} ({path}, seed={replay.outcome.seed}, "
+            f"fingerprint={replay.outcome.fingerprint[:12]}, "
+            f"{elapsed:.1f} s wall)\n"
+        )
+        _write_invariants(replay.outcome.invariants, out)
+        for mismatch in replay.mismatches:
+            out.write(f"  [DRIFT   ] {mismatch}\n")
+        all_ok = all_ok and replay.verdict_ok
+    return all_ok
+
+
+def run_corpus(
+    root: str, verify: bool = True, sanitize: bool = False, out=None
+) -> bool:
+    """``repro-nfs corpus``: strict replay of the whole corpus."""
+    from ..chaos import corpus_files, replay_file
+
+    if out is None:
+        out = sys.stdout
+    all_ok = True
+    paths = corpus_files(root)
+    for path in paths:
+        started = time.time()  # noqa: DET102 - wall-clock reporting only
+        replay = replay_file(
+            path, verify_determinism=verify, sanitize=sanitize
+        )
+        elapsed = time.time() - started  # noqa: DET102
+        verdict = "PASS" if replay.verdict_ok else "FAIL"
+        out.write(
+            f"{verdict} {replay.spec.name:20s} "
+            f"fingerprint={replay.outcome.fingerprint[:12]} "
+            f"({elapsed:.1f} s wall)\n"
+        )
+        if not replay.verdict_ok:
+            _write_invariants(replay.outcome.invariants, out)
+            for mismatch in replay.mismatches:
+                out.write(f"  [DRIFT   ] {mismatch}\n")
+        all_ok = all_ok and replay.verdict_ok
+    out.write(f"{len(paths)} scenario(s) replayed\n")
+    return all_ok
+
+
+def run_fuzz_campaign(
+    seed: int,
+    draws: int,
+    shards: int = 2,
+    sanitize: bool = True,
+    save_dir: Optional[str] = None,
+    json_path: Optional[str] = None,
+    out=None,
+) -> bool:
+    """``repro-nfs fuzz``: one seeded campaign, shrunk findings."""
+    import json as json_mod
+
+    from ..chaos import fuzz
+
+    if out is None:
+        out = sys.stdout
+    started = time.time()  # noqa: DET102 - wall-clock reporting only
+    report = fuzz(
+        seed,
+        draws,
+        sanitize=sanitize,
+        shards=shards,
+        corpus_root=save_dir,
+    )
+    elapsed = time.time() - started  # noqa: DET102
+    for row in report.rows:
+        verdict = "PASS" if row["passed"] else "FAIL"
+        shape = f"{row['clients']} client(s), {row['faults']} fault(s)"
+        out.write(
+            f"{verdict} draw {row['draw']:3d}  {shape:26s} "
+            f"fingerprint={row['fingerprint'][:12]}\n"
+        )
+    for finding in report.findings:
+        out.write(
+            f"finding: draw {finding.draw} violated "
+            f"{', '.join(finding.signature)}; shrunk to "
+            f"{finding.shrunk.fault_count()} fault(s) in "
+            f"{finding.shrink.steps} step(s)\n"
+        )
+        for step in finding.shrink.trace:
+            out.write(f"    {step}\n")
+        if finding.saved_path:
+            out.write(f"  saved reproducer: {finding.saved_path}\n")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json_mod.dump(report.payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write(f"wrote {json_path}\n")
+    verdict = "PASS" if report.passed else "FAIL"
+    out.write(
+        f"{verdict} fuzz seed={seed}: {draws} draw(s), "
+        f"{len(report.findings)} finding(s), "
+        f"campaign fingerprint={report.fingerprint()[:12]} "
+        f"({elapsed:.1f} s wall)\n"
+    )
+    return report.passed
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -631,6 +844,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs_dir=args.obs_dir,
         )
         return 0 if ok else 1
+    if args.command == "corpus":
+        ok = run_corpus(
+            args.corpus_dir,
+            verify=not args.no_verify,
+            sanitize=args.sanitize,
+        )
+        return 0 if ok else 1
+    if args.command == "fuzz":
+        if args.draws < 1:
+            parser.error(f"--draws must be >= 1, got {args.draws}")
+        if args.shards < 0:
+            parser.error(f"--shards must be >= 0, got {args.shards}")
+        ok = run_fuzz_campaign(
+            seed=args.seed,
+            draws=args.draws,
+            shards=args.shards,
+            sanitize=not args.no_sanitize,
+            save_dir=args.save_dir,
+            json_path=args.json_path,
+        )
+        return 0 if ok else 1
     if args.command == "trace":
         return run_trace_bundle(args.name, out_dir=args.out, seed=args.seed)
     if args.command == "metrics":
@@ -646,7 +880,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             experiment = get_experiment(experiment_id)
             print(f"{experiment_id:6s} {experiment.title}  [{experiment.paper_ref}]")
         return 0
-    ids = experiment_ids() if "all" in args.ids else args.ids
+    scenario_paths = [i for i in args.ids if i.endswith(".json")]
+    experiment_args = [i for i in args.ids if not i.endswith(".json")]
+    scenarios_ok = True
+    if scenario_paths:
+        scenarios_ok = run_scenario_files(
+            scenario_paths, sanitize=args.sanitize, shards=args.shards
+        )
+        if not experiment_args:
+            return 0 if scenarios_ok else 1
+    ids = experiment_ids() if "all" in experiment_args else experiment_args
     scale = 1.0 if args.full else args.scale
     from ..cache import ResultCache
     from ..parallel import default_jobs
@@ -661,7 +904,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ids, scale=scale, quick=args.quick, dump_dir=args.dump_dir,
         obs_dir=args.obs_dir, context=context,
     )
-    return 0 if ok else 1
+    return 0 if ok and scenarios_ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

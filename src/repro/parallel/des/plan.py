@@ -112,19 +112,29 @@ class FleetFaults:
     :class:`~repro.faults.server.ServerFaultSchedule` built on the live
     (hub-side) server: ``[(server_index, (("crash_at", (ms(40),)),
     ("restart_at", (ms(55),))))]``.
+
+    Client events are per-client fault windows applied to the owning
+    stack's transport — today RPC slot starvation, expressed as
+    ``[(client_index, (start_ns, end_ns, slots))]``.  They route with
+    the stack: serial runs apply them on the topology's clients, sharded
+    runs inside whichever client world owns that index.
     """
 
     uplink: Dict[str, object] = field(default_factory=dict)
     downlink: Dict[str, object] = field(default_factory=dict)
     server_schedules: Sequence[Tuple[int, Sequence[Tuple[str, tuple]]]] = ()
+    client_events: Sequence[Tuple[int, Tuple[int, int, int]]] = ()
 
     def apply_serial(self, topo) -> List[object]:
         """Install the whole set on a serial :class:`Topology`.
 
         Returns the live ``ServerFaultSchedule`` objects (for log
-        inspection); link faults mutate the switch ports in place.
+        inspection); link faults mutate the switch ports in place, and
+        client events arm on each owning stack (the live
+        ``SlotStarvation`` objects land in :attr:`starvations`).
         """
         self.apply_links(topo.switch)
+        self.starvations = self.apply_client_events(topo.clients)
         return self.apply_schedules(topo.servers)
 
     def apply_links(self, switch) -> None:
@@ -144,6 +154,28 @@ class FleetFaults:
             out.append(schedule)
         return out
 
+    def apply_client_events(self, stacks) -> List[object]:
+        """Arm client fault windows on the stacks this world owns.
+
+        ``stacks`` may be any subset of the fleet (a shard's group);
+        events whose client index is absent belong to another shard and
+        are skipped.  Returns the live ``SlotStarvation`` objects.
+        """
+        from ...faults.client import SlotStarvation
+
+        by_index = {stack.index: stack for stack in stacks}
+        out = []
+        for index, (start_ns, end_ns, slots) in self.client_events:
+            stack = by_index.get(index)
+            if stack is None:
+                continue
+            out.append(
+                SlotStarvation(
+                    stack.sim, stack.nfs.xprt, start_ns, end_ns, slots=slots
+                )
+            )
+        return out
+
     def split(self, plan: ShardPlan) -> Tuple[List["FleetFaults"], "FleetFaults"]:
         """Route into (per-client-shard faults, hub faults)."""
         names = client_names(plan.spec)
@@ -153,6 +185,16 @@ class FleetFaults:
                 owner[names[index]] = shard
         per_shard = [FleetFaults() for _ in plan.groups]
         hub = FleetFaults(server_schedules=self.server_schedules)
+        for index, window in self.client_events:
+            if not 0 <= index < len(names):
+                raise ConfigError(
+                    f"client event targets client {index}; fleet has "
+                    f"{len(names)} client(s)"
+                )
+            shard = plan.shard_of(index)
+            per_shard[shard].client_events = tuple(
+                per_shard[shard].client_events
+            ) + ((index, window),)
         for name, fault in self.uplink.items():
             shard = owner.get(name)
             if shard is None:  # server uplink: hub-side

@@ -128,6 +128,7 @@ class ClientShardWorld:
         for stack in self.stacks:
             stack.sanitizer = attach_if_active(stack)
         faults.apply_links(self.switch)
+        self.starvations = faults.apply_client_events(self.stacks)
         # Workload tasks spawn before the first window, as in serial.
         self.tasks = [
             self.sim.spawn(

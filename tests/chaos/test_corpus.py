@@ -1,0 +1,149 @@
+"""The on-disk scenario corpus: discovery, strict replay, drift detection."""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import (
+    corpus_files,
+    load_scenario,
+    pin_expectations,
+    replay_file,
+    run_spec,
+    save_regression,
+    save_scenario,
+)
+from repro.chaos.legacy import corpus_specs, legacy_specs
+from repro.errors import ConfigError
+
+CORPUS = os.path.join(os.path.dirname(__file__), "..", "..", "scenarios")
+
+
+def test_corpus_discovery_excludes_templates(tmp_path):
+    (tmp_path / "a.json").write_text("{}")
+    (tmp_path / "notes.txt").write_text("")
+    (tmp_path / "templates").mkdir()
+    (tmp_path / "templates" / "t.json").write_text("{}")
+    (tmp_path / "regressions").mkdir()
+    (tmp_path / "regressions" / "r.json").write_text("{}")
+    files = corpus_files(str(tmp_path))
+    names = [os.path.relpath(p, str(tmp_path)) for p in files]
+    assert names == ["a.json", os.path.join("regressions", "r.json")]
+    assert corpus_files(str(tmp_path), include_regressions=False) == [
+        str(tmp_path / "a.json")
+    ]
+
+
+def test_missing_corpus_is_config_error(tmp_path):
+    with pytest.raises(ConfigError, match="no scenario corpus"):
+        corpus_files(str(tmp_path / "nowhere"))
+
+
+def test_checked_in_corpus_covers_every_builder():
+    files = {
+        os.path.splitext(os.path.basename(p))[0]
+        for p in corpus_files(CORPUS, include_regressions=False)
+    }
+    assert set(corpus_specs()) <= files
+
+
+def test_checked_in_files_match_their_builders():
+    """scenarios/*.json must be exactly what regen_scenarios.py writes
+    (modulo the pinned expect block, which the builders do not carry)."""
+    for name, spec in corpus_specs().items():
+        on_disk = load_scenario(os.path.join(CORPUS, f"{name}.json"))
+        assert on_disk.replace(expect=spec.expect) == spec, name
+        assert on_disk.expect.passed is True
+        assert on_disk.expect.fingerprint
+
+
+def test_replay_detects_fingerprint_drift(tmp_path):
+    spec = legacy_specs()["slot-starvation"]
+    outcome = run_spec(spec, verify_determinism=False)
+    pinned = pin_expectations(spec, outcome)
+    tampered = pinned.replace(
+        expect=pinned.expect.__class__(
+            passed=pinned.expect.passed,
+            failed=pinned.expect.failed,
+            fingerprint="0" * 64,
+        )
+    )
+    path = save_scenario(tampered, str(tmp_path))
+    replay = replay_file(path, verify_determinism=False)
+    assert not replay.ok
+    assert not replay.verdict_ok
+    assert any("fingerprint drift" in m for m in replay.mismatches)
+
+
+def test_replay_detects_verdict_drift(tmp_path):
+    spec = legacy_specs()["slot-starvation"]
+    outcome = run_spec(spec, verify_determinism=False)
+    pinned = pin_expectations(spec, outcome)
+    tampered = pinned.replace(
+        expect=pinned.expect.__class__(
+            passed=False,
+            failed=("stability",),
+            fingerprint=pinned.expect.fingerprint,
+        )
+    )
+    path = save_scenario(tampered, str(tmp_path))
+    replay = replay_file(path, verify_determinism=False)
+    assert not replay.ok
+    assert any("expected pass=False" in m for m in replay.mismatches)
+    assert any("stability" in m for m in replay.mismatches)
+
+
+def test_unpinned_scenario_gates_on_its_own_verdict(tmp_path):
+    """A file with no expect block is still a CI gate: the run must pass."""
+    spec = legacy_specs()["slot-starvation"]
+    path = save_scenario(spec, str(tmp_path))
+    replay = replay_file(path, verify_determinism=False)
+    assert replay.ok  # no expectations to violate...
+    assert replay.verdict_ok  # ...but the run itself passed
+
+    failing = spec.replace(
+        name="rigged",
+        checks=spec.checks
+        + (spec.checks[1].__class__("backlog-built-up", params=(("min", 10**9),)),),
+    )
+    path = save_scenario(failing, str(tmp_path))
+    replay = replay_file(path, verify_determinism=False)
+    assert replay.ok
+    assert not replay.verdict_ok
+
+
+def test_save_regression_lands_in_subdir_with_provenance(tmp_path):
+    spec = legacy_specs()["jukebox"]
+    outcome = run_spec(spec, verify_determinism=False)
+    path = save_regression(
+        spec, outcome, str(tmp_path), provenance=(("fuzz_seed", 9),)
+    )
+    assert os.path.dirname(path).endswith("regressions")
+    saved = load_scenario(path)
+    assert dict(saved.provenance)["fuzz_seed"] == 9
+    assert saved.expect.fingerprint == outcome.fingerprint
+    assert path in corpus_files(str(tmp_path))
+
+
+@pytest.mark.parametrize(
+    "name", ["fleet-crash-commit", "fleet-starved-client"]
+)
+def test_fleet_corpus_scenarios_replay_strictly(name):
+    """The fleet scenarios exist only declaratively (no scripted twin),
+    so their pinned expectations are replayed here rather than in the
+    equivalence tests."""
+    replay = replay_file(
+        os.path.join(CORPUS, f"{name}.json"), verify_determinism=False
+    )
+    assert replay.ok, replay.mismatches
+    assert replay.outcome.passed
+
+
+def test_corpus_files_are_canonical_json():
+    for path in corpus_files(CORPUS, include_regressions=False):
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        doc = json.loads(text)
+        assert text == load_scenario(path).to_json(), path
+        assert doc["schema"] == "repro-nfs/scenario@1"

@@ -1,0 +1,103 @@
+"""Fuzzer: bit-reproducibility, generator validity, finding auto-save."""
+
+import json
+
+import pytest
+
+from repro.chaos import fuzz, load_scenario
+from repro.chaos.fuzz import draw_spec
+from repro.chaos.legacy import legacy_specs
+from repro.chaos.schema import SCENARIO_SCHEMA, validate
+from repro.chaos.spec import ScenarioSpec
+from repro.sim import RngStreams
+
+DRAWS = 4  # enough to cover single-client and fleet shapes at seed 7
+
+
+def test_campaign_is_bit_reproducible():
+    first = fuzz(seed=7, draws=DRAWS, sanitize=False)
+    second = fuzz(seed=7, draws=DRAWS, sanitize=False)
+    assert first.payload() == second.payload()
+    assert first.fingerprint() == second.fingerprint()
+
+
+def test_draws_are_prefix_stable():
+    """Draw k is the same scenario whether the campaign runs k+1 or N
+    draws — per-draw RNG streams, not one shared stream."""
+    short = fuzz(seed=7, draws=2, sanitize=False)
+    longer = fuzz(seed=7, draws=DRAWS, sanitize=False)
+    assert longer.rows[:2] == short.rows
+
+
+def test_different_seeds_draw_different_schedules():
+    a = fuzz(seed=7, draws=2, sanitize=False)
+    b = fuzz(seed=8, draws=2, sanitize=False)
+    assert a.payload() != b.payload()
+
+
+def test_drawn_specs_serialize_and_validate():
+    for i in range(12):
+        rng = RngStreams(3).stream(f"fuzz/draw{i}")
+        spec = draw_spec(rng, f"fuzz-3-{i:03d}")
+        doc = json.loads(spec.to_json())
+        validate(doc, SCENARIO_SCHEMA)
+        assert ScenarioSpec.from_dict(doc) == spec
+
+
+def test_finding_is_shrunk_and_saved_as_regression(tmp_path, monkeypatch):
+    """A violating draw must be shrunk and auto-saved with provenance."""
+    base = legacy_specs()["server-restart"]
+    # Expecting the run to fail 'verifier-bumped' (expected=3, actual 2)
+    # makes a deterministic, genuinely failing draw.
+    rigged = base.replace(
+        name="fuzz-1-000",
+        checks=tuple(
+            c.__class__(c.kind, params=(("expected", 3),))
+            if c.kind == "verifier-bumped"
+            else c
+            for c in base.checks
+        ),
+    )
+    import importlib
+
+    # ``repro.chaos.fuzz`` the *module* is shadowed by the re-exported
+    # ``fuzz`` function on the package, so resolve it explicitly.
+    fuzz_mod = importlib.import_module("repro.chaos.fuzz")
+    monkeypatch.setattr(
+        fuzz_mod, "draw_spec", lambda rng, name: rigged.replace(name=name)
+    )
+
+    report = fuzz(seed=1, draws=1, sanitize=False, corpus_root=str(tmp_path))
+    assert not report.passed
+    (finding,) = report.findings
+    assert finding.signature == ("verifier-bumped",)
+    # Shrinking kept only what the signature needs: the crash+restart
+    # pair that produces exactly two verifier bumps.
+    assert finding.shrunk.fault_count() <= rigged.fault_count()
+    assert finding.shrunk.probes == ()
+    assert finding.saved_path is not None
+
+    saved = load_scenario(finding.saved_path)
+    assert saved.expect.passed is False
+    assert saved.expect.failed == ("verifier-bumped",)
+    assert saved.expect.fingerprint == finding.shrunk_outcome.fingerprint
+    prov = dict(saved.provenance)
+    assert prov["fuzz_seed"] == 1
+    assert prov["draw"] == 0
+    assert prov["shrink_steps"] == finding.shrink.steps
+
+    # The saved regression replays to the same verdict.
+    from repro.chaos import replay_file
+
+    replay = replay_file(finding.saved_path, verify_determinism=False)
+    assert replay.ok
+    assert replay.verdict_ok
+
+
+def test_default_campaign_finds_nothing_spurious():
+    """A slice of the CI smoke campaign: sanitized draws at seed 1 stay
+    green (the full 25-draw run lives in the CI fuzz job)."""
+    report = fuzz(seed=1, draws=6, sanitize=True, shards=2)
+    assert report.passed, [
+        (f.draw, f.signature) for f in report.findings
+    ]

@@ -1,0 +1,36 @@
+"""The declarative corpus must stay bit-identical to the scripted scenarios.
+
+Each legacy chaos scenario in :mod:`repro.faults.scenarios` has a
+declarative twin in :mod:`repro.chaos.legacy`.  These tests replay both
+forms at the default seed and require the exact same payload
+fingerprint and the exact same invariant verdicts — so the scenario
+corpus can never drift from the scripted originals unnoticed.
+"""
+
+import pytest
+
+from repro.chaos import loads_scenario, run_spec
+from repro.chaos.legacy import legacy_specs
+from repro.faults.scenarios import run_scenario
+
+LEGACY_NAMES = sorted(legacy_specs())
+
+
+def _rows(outcome):
+    return [(inv.name, inv.ok) for inv in outcome.invariants]
+
+
+@pytest.mark.parametrize("name", LEGACY_NAMES)
+def test_declarative_twin_matches_scripted_scenario(name):
+    spec = legacy_specs()[name]
+    scripted = run_scenario(name, seed=1, verify_determinism=False)
+    declared = run_spec(spec, verify_determinism=False)
+    assert declared.fingerprint == scripted.fingerprint
+    assert _rows(declared) == _rows(scripted)
+    assert declared.passed
+
+
+@pytest.mark.parametrize("name", LEGACY_NAMES)
+def test_declarative_twin_survives_json_round_trip(name):
+    spec = legacy_specs()[name]
+    assert loads_scenario(spec.to_json()) == spec

@@ -1,0 +1,116 @@
+"""The scenario schema: validator subset + placeholder substitution."""
+
+import pytest
+
+from repro.chaos import SchemaError, loads_scenario, validate
+from repro.chaos.schema import SCENARIO_SCHEMA, substitute_placeholders
+
+
+def minimal(**overrides):
+    doc = {
+        "schema": "repro-nfs/scenario@1",
+        "name": "t",
+        "bed": {"target": "netapp", "client": "stock"},
+        "workload": {"file_bytes": 65536},
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_minimal_scenario_validates():
+    validate(minimal(), SCENARIO_SCHEMA)
+
+
+def test_wrong_schema_tag_rejected():
+    with pytest.raises(SchemaError, match=r"\$\.schema"):
+        validate(minimal(schema="repro-nfs/scenario@99"), SCENARIO_SCHEMA)
+
+
+def test_missing_required_key_names_path():
+    doc = minimal()
+    del doc["workload"]
+    with pytest.raises(SchemaError, match="missing required key 'workload'"):
+        validate(doc, SCENARIO_SCHEMA)
+
+
+def test_unknown_key_rejected_with_path():
+    with pytest.raises(SchemaError, match="unknown key"):
+        validate(minimal(bogus=1), SCENARIO_SCHEMA)
+
+
+def test_type_mismatch_names_json_path():
+    doc = minimal()
+    doc["workload"]["file_bytes"] = "lots"
+    with pytest.raises(SchemaError, match=r"\$\.workload\.file_bytes"):
+        validate(doc, SCENARIO_SCHEMA)
+
+
+def test_bool_is_not_an_integer():
+    doc = minimal()
+    doc["workload"]["file_bytes"] = True
+    with pytest.raises(SchemaError):
+        validate(doc, SCENARIO_SCHEMA)
+
+
+def test_enum_violation_rejected():
+    doc = minimal()
+    doc["bed"]["target"] = "solaris"
+    with pytest.raises(SchemaError, match="solaris"):
+        validate(doc, SCENARIO_SCHEMA)
+
+
+def test_exclusive_minimum_rejects_zero_file():
+    doc = minimal()
+    doc["workload"]["file_bytes"] = 0
+    with pytest.raises(SchemaError, match="exclusiveMinimum"):
+        validate(doc, SCENARIO_SCHEMA)
+
+
+def test_array_items_validated_with_index():
+    doc = minimal(
+        faults={"link": [{"kind": "nope", "attach": "client", "direction": "downlink"}]}
+    )
+    with pytest.raises(SchemaError, match=r"\$\.faults\.link\[0\]"):
+        validate(doc, SCENARIO_SCHEMA)
+
+
+def test_sweep_needs_at_least_one_rate():
+    doc = minimal(sweep={"loss_rates": []})
+    with pytest.raises(SchemaError, match="at least 1"):
+        validate(doc, SCENARIO_SCHEMA)
+
+
+# -- placeholders --------------------------------------------------------------
+
+
+def test_full_string_placeholder_coerces_types():
+    node = {
+        "n": "{{ COUNT }}",
+        "f": "{{ RATE }}",
+        "b": "{{ FLAG }}",
+        "s": "{{ NAME }}",
+    }
+    env = {"COUNT": "42", "RATE": "0.25", "FLAG": "true", "NAME": "hello"}
+    out = substitute_placeholders(node, env)
+    assert out == {"n": 42, "f": 0.25, "b": True, "s": "hello"}
+
+
+def test_embedded_placeholder_substitutes_textually():
+    out = substitute_placeholders({"msg": "run-{{ TAG }}-x"}, {"TAG": "7"})
+    assert out == {"msg": "run-7-x"}
+
+
+def test_missing_placeholder_names_variable_and_path():
+    with pytest.raises(SchemaError, match=r"\$\.a\[0\].*MISSING"):
+        substitute_placeholders({"a": ["{{ MISSING }}"]}, {})
+
+
+def test_loads_scenario_substitutes_then_validates():
+    import json
+
+    doc = minimal()
+    doc["workload"]["file_bytes"] = "{{ FB }}"
+    spec = loads_scenario(json.dumps(doc), env={"FB": "65536"})
+    assert spec.workload.file_bytes == 65536
+    with pytest.raises(SchemaError):
+        loads_scenario(json.dumps(doc), env={"FB": "not-a-number"})

@@ -208,3 +208,42 @@ def test_sharded_propagates_time_limit_wedge():
     )
     with pytest.raises(SimulationError):
         run_sharded_fleet(spec, shards=2, transport="inline")
+
+
+# -- client events ------------------------------------------------------------
+
+
+def test_client_event_routing_splits_by_owner():
+    spec = FleetJobSpec.homogeneous(4, file_bytes=SMALL)
+    plan = build_plan(spec, 2)
+    faults = FleetFaults(
+        client_events=((0, (ms(1), ms(2), 1)), (3, (ms(3), ms(4), 2))),
+    )
+    per_shard, hub = faults.split(plan)
+    assert per_shard[0].client_events == ((0, (ms(1), ms(2), 1)),)
+    assert per_shard[1].client_events == ((3, (ms(3), ms(4), 2)),)
+    assert hub.client_events == ()
+
+
+def test_client_event_out_of_range_rejected():
+    spec = FleetJobSpec.homogeneous(2, file_bytes=SMALL)
+    plan = build_plan(spec, 2)
+    faults = FleetFaults(client_events=((5, (ms(1), ms(2), 1)),))
+    with pytest.raises(ConfigError, match="client event targets client 5"):
+        faults.split(plan)
+
+
+def test_sharded_matches_serial_under_client_events():
+    spec = FleetJobSpec.homogeneous(3, target="netapp", file_bytes=SMALL)
+    event = ((1, (ms(1), ms(30), 1)),)
+    serial = serial_point(spec, faults=FleetFaults(client_events=event))
+    out = run_sharded_fleet(
+        spec,
+        shards=3,
+        transport="inline",
+        faults=FleetFaults(client_events=event),
+    )
+    assert out.point.run_fingerprint() == serial.run_fingerprint()
+    # Starving one client must actually change the interleaving.
+    unfaulted = serial_point(spec)
+    assert serial.run_fingerprint() != unfaulted.run_fingerprint()

@@ -1,0 +1,165 @@
+"""Property tests for the adaptive (srtt/rttvar) RPC timeout.
+
+Two contracts, fuzzed with hypothesis:
+
+* the derived retransmit timeout never leaves the ``[min_ns, max_ns]``
+  envelope, whatever round-trip samples arrive;
+* Karn's rule holds end to end — under fuzzed service jitter and
+  forced retransmits, only replies to never-retransmitted calls feed
+  the estimator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc import UdpTransport
+from repro.rpc.xprt import RttEstimator
+from repro.units import ms, us
+
+from .helpers import EchoWorld
+
+NS_HOUR = 3_600 * 10**9
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=NS_HOUR), min_size=0, max_size=200
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_timeout_never_leaves_envelope(samples):
+    est = RttEstimator(initial_ns=ms(700))
+    assert est.timeout_ns() == ms(700)  # pre-sample: the mount's timeo
+    for rtt in samples:
+        est.observe(rtt)
+        assert est.min_ns <= est.timeout_ns() <= est.max_ns
+    assert est.samples == len(samples)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_timeout_floor_holds_for_fast_servers(rtt_ns):
+    """Sub-floor RTTs must still clamp up to min_ns, never below."""
+    est = RttEstimator(initial_ns=ms(700))
+    for _ in range(32):
+        est.observe(rtt_ns)
+    assert est.timeout_ns() == est.min_ns
+
+
+def test_timeout_cap_holds_for_glacial_servers():
+    est = RttEstimator(initial_ns=ms(700))
+    for _ in range(8):
+        est.observe(10 * est.max_ns)
+    assert est.timeout_ns() == est.max_ns
+
+
+class JitterWorld(EchoWorld):
+    """Echo world with a fixed per-call service time (keyed by tag), so
+    concurrent handlers cannot race on a single shared ``service_ns``."""
+
+    def __init__(self, service_table, **kwargs):
+        self.service_table = service_table
+        super().__init__(**kwargs)
+
+    def _handle(self, call):
+        while self.paused:
+            yield self.sim.timeout(us(50))
+        yield self.sim.timeout(self.service_table[call.args])
+        self.served.append(call.args)
+        return ("echo", call.args), 128
+
+
+@given(
+    st.lists(
+        st.integers(min_value=10, max_value=300),  # fast service, us
+        min_size=4,
+        max_size=12,
+    ),
+    st.integers(min_value=2, max_value=4),  # index stride of slow calls
+)
+@settings(max_examples=12, deadline=None)
+def test_karn_rule_under_fuzzed_jitter(service_us, stride):
+    """Replies to retransmitted calls never update the estimator, and
+    the envelope holds at every reply — under fuzzed service jitter
+    with the retransmit timer short enough to fire on slow calls."""
+    # Every stride-th call takes 3 ms against a 1 ms timer (guaranteed
+    # retransmit); the rest reply well inside it (clean samples).
+    table = {
+        i: ms(3) if i % stride == 0 else us(fast)
+        for i, fast in enumerate(service_us)
+    }
+    world = JitterWorld(
+        table,
+        timeo_ns=ms(1),
+        adaptive_timeo=True,
+        retrans=7,
+    )
+    events = []
+    original = UdpTransport._handle_reply
+
+    def spy(self, reply):
+        req = self.in_flight.get(reply.xid)
+        retries = None if req is None else req.retries
+        before = sum(e.samples for e in self.rtt.values())
+        yield from original(self, reply)
+        after = sum(e.samples for e in self.rtt.values())
+        events.append((retries, after - before))
+        for est in self.rtt.values():
+            if est.samples:
+                assert est.min_ns <= est.timeout_ns() <= est.max_ns
+
+    UdpTransport._handle_reply = spy
+    try:
+
+        def client():
+            reqs = []
+            for i in range(len(service_us)):
+                req = yield from world.xprt.submit(world.make_call(i))
+                reqs.append(req)
+            for req in reqs:
+                yield req.completion
+
+        world.sim.spawn(client())
+        world.sim.run()
+    finally:
+        UdpTransport._handle_reply = original
+
+    assert events, "no replies observed"
+    for retries, delta in events:
+        if retries is None or retries > 0:
+            # Duplicate or retransmitted xid: Karn forbids the sample.
+            assert delta == 0, (retries, delta)
+        else:
+            assert delta in (0, 1)
+    # The fuzz actually exercised both arms.
+    assert any(delta == 1 for _, delta in events)
+    assert world.xprt.stats.retransmits >= 1
+    kept = sum(delta for _, delta in events)
+    assert sum(e.samples for e in world.xprt.rtt.values()) == kept
+
+
+def test_retransmitted_replies_are_discarded_deterministically():
+    """Scripted twin of the fuzz case: a server pause guarantees every
+    in-flight call retransmits; their eventual replies must leave the
+    estimator untouched, and the next clean call must feed it."""
+    world = EchoWorld(
+        service_ns=us(100), timeo_ns=ms(1), adaptive_timeo=True, retrans=7
+    )
+    world.paused = True
+
+    def unpause():
+        yield world.sim.timeout(ms(10))
+        world.paused = False
+
+    def client():
+        req = yield from world.xprt.submit(world.make_call(0))
+        yield req.completion
+        clean = yield from world.xprt.submit(world.make_call(1))
+        yield clean.completion
+
+    world.sim.spawn(unpause())
+    world.sim.spawn(client())
+    world.sim.run()
+    assert world.xprt.stats.retransmits >= 1
+    # Only the clean second call may have contributed a sample.
+    assert sum(e.samples for e in world.xprt.rtt.values()) <= 1
