@@ -1,0 +1,109 @@
+"""Committed flow baseline: gate on drift, not absolute count.
+
+The baseline file (``flow-baseline.json``) records the findings the
+repo has accepted, each with a justification, keyed by a *stable* key
+that omits line numbers::
+
+    CODE::relative/path.py::scope.qualname::slug
+
+A run fails on drift in **either** direction: a finding not in the
+baseline (new debt) or a baseline entry no finding matches any more
+(fixed but silently left in the file — reported as FLW002 so the entry
+gets removed and the ratchet tightens).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineEntry",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA = "repro-nfs/flow-baseline@1"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    key: str
+    code: str
+    justification: str
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, BaselineEntry]:
+    """Parse a baseline file; raises ValueError on shape problems."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {raw.get('schema') if isinstance(raw, dict) else type(raw).__name__!r}"
+        )
+    entries: Dict[str, BaselineEntry] = {}
+    for item in raw.get("entries", []):
+        if not isinstance(item, dict) or "key" not in item:
+            raise ValueError(f"baseline {path}: malformed entry {item!r}")
+        key = item["key"]
+        entries[key] = BaselineEntry(
+            key=key,
+            code=item.get("code", key.split("::", 1)[0]),
+            justification=item.get("justification", ""),
+        )
+    return entries
+
+
+def save_baseline(
+    path: Union[str, Path],
+    findings: Sequence,
+    justifications: Dict[str, str] = None,
+) -> None:
+    """Write the given findings (anything with .key/.code) as a baseline."""
+    justifications = justifications or {}
+    seen = set()
+    entries: List[Dict[str, str]] = []
+    for finding in sorted(findings, key=lambda f: f.key):
+        if finding.key in seen:
+            continue
+        seen.add(finding.key)
+        entries.append(
+            {
+                "key": finding.key,
+                "code": finding.code,
+                "justification": justifications.get(
+                    finding.key, "accepted pre-existing finding; see docs"
+                ),
+            }
+        )
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence,
+    baseline: Dict[str, BaselineEntry],
+) -> Tuple[List, int, List[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns (kept_findings, matched_count, stale_entries): findings
+    whose key appears in the baseline are dropped; baseline entries no
+    finding matched are *stale* and must be removed from the file.
+    """
+    matched_keys = set()
+    kept = []
+    for finding in findings:
+        if finding.key in baseline:
+            matched_keys.add(finding.key)
+        else:
+            kept.append(finding)
+    stale = [
+        entry for key, entry in sorted(baseline.items()) if key not in matched_keys
+    ]
+    return kept, len(matched_keys), stale

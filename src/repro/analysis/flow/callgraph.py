@@ -1,0 +1,543 @@
+"""Module-resolved call graph over a :class:`~.modindex.PackageIndex`.
+
+Every ``ast.Call`` in every indexed function becomes a :class:`CallEdge`
+tagged with how its callee was resolved:
+
+* ``direct`` — a unique in-index target (local/imported function, a
+  method found through the receiver's inferred class and MRO, or a
+  class constructor → its ``__init__``),
+* ``heuristic`` — the receiver's class was unknown but the method name
+  is defined by at most :data:`MAX_NAME_CANDIDATES` index functions;
+  the edge fans out to all of them (a conservative over-approximation),
+* ``builtin`` — a recognised Python builtin or stdlib call (recorded by
+  name, no target),
+* ``external`` — provably outside the index: a name imported from a
+  non-index module (``math.ceil``, ``warnings.warn``) or a method name
+  no index function defines (``dict.values``); it cannot land in
+  analysed code, so it carries no effects,
+* ``unresolved`` — everything else: the explicit noise bucket each
+  check reports and the committed baseline gates on drift.
+
+Receiver classification (:func:`classify`) is shared with the effect
+and taint passes: an expression maps to a :class:`Ref` — rooted at
+``self``, a parameter, a typed local, a class, a module, or unknown —
+using the index's assignment heuristics plus per-function local
+inference (``x = Foo(...)``, ``x = self.attr``, annotated parameters).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .modindex import FunctionInfo, PackageIndex, _annotation_name
+
+__all__ = [
+    "Ref",
+    "SELF",
+    "PARAM",
+    "LOCAL",
+    "CLASS",
+    "MODULE",
+    "UNKNOWN",
+    "CallEdge",
+    "CallGraph",
+    "FunctionContext",
+    "classify",
+    "build_callgraph",
+]
+
+#: By-name fallback: link an unknown-receiver method call only when at
+#: most this many index functions define the name.
+MAX_NAME_CANDIDATES = 4
+
+SELF = "self"
+PARAM = "param"
+LOCAL = "local"
+CLASS = "class"
+MODULE = "module"
+UNKNOWN = "unknown"
+
+#: Method names shared with the builtin types (dict/str/list/file).
+#: A call through an *untyped* receiver with one of these names is far
+#: more likely ``dict.get`` than an index method, so the by-name
+#: fallback stands down and the call joins the unresolved bucket
+#: (counted in stats, not reported as an observer escape).
+COMMON_OBJECT_METHODS = frozenset(
+    [
+        "get",
+        "items",
+        "keys",
+        "values",
+        "join",
+        "split",
+        "rsplit",
+        "strip",
+        "lstrip",
+        "rstrip",
+        "write",
+        "writelines",
+        "read",
+        "readline",
+        "close",
+        "flush",
+        "copy",
+        "count",
+        "index",
+        "format",
+        "encode",
+        "decode",
+        "replace",
+        "startswith",
+        "endswith",
+        "lower",
+        "upper",
+        "title",
+        "zfill",
+        "ljust",
+        "rjust",
+        "partition",
+        "rpartition",
+        "find",
+        "rfind",
+        "group",
+        "groups",
+        "match",
+        "search",
+        "hexdigest",
+        "total_seconds",
+    ]
+)
+
+#: Container methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    [
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    ]
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Where an expression's value is rooted."""
+
+    kind: str
+    #: param index / local name / class qualname / module name, by kind.
+    name: str = ""
+    index: int = -1
+    #: attribute path walked from the root (("metrics", "counter") etc).
+    attrs: Tuple[str, ...] = ()
+    #: possible classes of the referred value (may be empty).
+    types: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        root = {
+            SELF: "self",
+            PARAM: f"param {self.name or self.index}",
+            LOCAL: self.name,
+            CLASS: self.name,
+            MODULE: self.name,
+            UNKNOWN: self.name or "?",
+        }[self.kind]
+        return ".".join([root, *self.attrs]) if self.attrs else root
+
+
+_UNKNOWN_REF = Ref(UNKNOWN)
+
+
+@dataclass
+class CallEdge:
+    """One call site, resolved (or not) to its targets."""
+
+    caller: str
+    node: ast.Call
+    line: int
+    #: resolution kind: direct | heuristic | builtin | unresolved.
+    kind: str
+    #: index function qualnames this call may land in.
+    targets: Tuple[str, ...] = ()
+    #: the syntactic callee name ("m" of recv.m(), or the bare name).
+    callee_name: str = ""
+    #: classified receiver of a method call (None for bare names).
+    receiver: Optional[Ref] = None
+    #: classified positional argument refs (for param-effect binding).
+    arg_refs: Tuple[Optional[Ref], ...] = ()
+
+
+class FunctionContext:
+    """Per-function name environment used by classify()."""
+
+    def __init__(self, index: PackageIndex, fn: FunctionInfo):
+        self.index = index
+        self.fn = fn
+        self.self_name = fn.params[0] if fn.is_method and fn.params else None
+        self.param_index = {name: i for i, name in enumerate(fn.params)}
+        #: local name -> possible class qualnames (flow-insensitive).
+        self.local_types: Dict[str, Set[str]] = {}
+        #: local name -> Ref it aliases (x = self.attr / x = param).
+        self.aliases: Dict[str, Ref] = {}
+        #: locals assigned None on some path (for SIM602).
+        self.maybe_none: Set[str] = set()
+        self._infer_locals()
+
+    def _infer_locals(self) -> None:
+        for name, anno in self.fn.annotations.items():
+            resolved = self.index.resolve_class(anno, self.fn.module)
+            if resolved and name not in self.param_index:
+                self.local_types.setdefault(name, set()).add(resolved)
+        for stmt in ast.walk(self.fn.node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            if isinstance(stmt, ast.AnnAssign) and stmt.annotation is not None:
+                anno = _annotation_name(stmt.annotation)
+                resolved = (
+                    self.index.resolve_class(anno, self.fn.module) if anno else None
+                )
+                if resolved:
+                    for name in names:
+                        self.local_types.setdefault(name, set()).add(resolved)
+            if value is None:
+                continue
+            if isinstance(value, ast.Constant) and value.value is None:
+                self.maybe_none.update(names)
+                continue
+            ref = classify(value, self, _local_alias=False)
+            for name in names:
+                if ref.types:
+                    self.local_types.setdefault(name, set()).update(ref.types)
+                if ref.kind in (SELF, PARAM) and name not in self.aliases:
+                    self.aliases[name] = ref
+
+
+def _constructor_types(
+    call: ast.Call, ctx: FunctionContext
+) -> Tuple[str, ...]:
+    name = _annotation_name(call.func)
+    if not name:
+        return ()
+    resolved = ctx.index.resolve_class(name, ctx.fn.module)
+    return (resolved,) if resolved else ()
+
+
+def _return_types(targets: Sequence[str], ctx: FunctionContext) -> Tuple[str, ...]:
+    """Classes a resolved call's return value may have (shallow)."""
+    out: Set[str] = set()
+    for target in targets:
+        fn = ctx.index.functions.get(target)
+        if fn is None:
+            continue
+        if fn.name == "__init__" and fn.cls:
+            out.add(fn.cls)
+            continue
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if isinstance(node.value, ast.Call):
+                    name = _annotation_name(node.value.func)
+                    if name:
+                        resolved = ctx.index.resolve_class(name, fn.module)
+                        if resolved:
+                            out.add(resolved)
+                elif isinstance(node.value, ast.Name):
+                    # A returned local constructed in the same function.
+                    for stmt in ast.walk(fn.node):
+                        if (
+                            isinstance(stmt, ast.Assign)
+                            and isinstance(stmt.value, ast.Call)
+                            and any(
+                                isinstance(t, ast.Name) and t.id == node.value.id
+                                for t in stmt.targets
+                            )
+                        ):
+                            name = _annotation_name(stmt.value.func)
+                            if name:
+                                resolved = ctx.index.resolve_class(name, fn.module)
+                                if resolved:
+                                    out.add(resolved)
+    return tuple(sorted(out))
+
+
+def classify(expr: ast.AST, ctx: FunctionContext, _local_alias: bool = True) -> Ref:
+    """Map an expression to a :class:`Ref` (root + attr path + types)."""
+    if isinstance(expr, ast.Name):
+        name = expr.id
+        if name == ctx.self_name:
+            types = (ctx.fn.cls,) if ctx.fn.cls else ()
+            return Ref(SELF, name, attrs=(), types=types)
+        if name in ctx.param_index:
+            anno = ctx.fn.annotations.get(name)
+            resolved = (
+                ctx.index.resolve_class(anno, ctx.fn.module) if anno else None
+            )
+            return Ref(
+                PARAM,
+                name,
+                index=ctx.param_index[name],
+                types=(resolved,) if resolved else (),
+            )
+        if _local_alias and name in ctx.aliases:
+            return ctx.aliases[name]
+        resolved = ctx.index.resolve_name(name, ctx.fn.module)
+        if resolved in ctx.index.classes:
+            return Ref(CLASS, resolved)
+        if resolved in ctx.index.modules:
+            return Ref(MODULE, resolved)
+        if name in ctx.local_types:
+            return Ref(LOCAL, name, types=tuple(sorted(ctx.local_types[name])))
+        if resolved in ctx.index.functions:
+            return Ref(UNKNOWN, resolved)
+        return Ref(LOCAL, name)
+    if isinstance(expr, ast.Attribute):
+        base = classify(expr.value, ctx, _local_alias=_local_alias)
+        if base.kind == MODULE:
+            resolved = f"{base.name}.{expr.attr}"
+            if resolved in ctx.index.modules:
+                return Ref(MODULE, resolved)
+            if resolved in ctx.index.classes:
+                return Ref(CLASS, resolved)
+            return Ref(MODULE, base.name, attrs=base.attrs + (expr.attr,))
+        # Type of the attribute, from the base's possible classes.
+        attr_types: Set[str] = set()
+        for cls in base.types:
+            attr_types |= ctx.index.attr_types(cls, expr.attr)
+        return Ref(
+            base.kind,
+            base.name,
+            index=base.index,
+            attrs=base.attrs + (expr.attr,),
+            types=tuple(sorted(attr_types)),
+        )
+    if isinstance(expr, ast.Call):
+        ctor = _constructor_types(expr, ctx)
+        if ctor:
+            return Ref(CLASS, ctor[0], types=ctor)
+        targets = _resolve_call_targets(expr, ctx)[1]
+        if targets:
+            types = _return_types(targets, ctx)
+            if types:
+                return Ref(UNKNOWN, "call", types=types)
+        return Ref(UNKNOWN, "call")
+    if isinstance(expr, ast.Subscript):
+        base = classify(expr.value, ctx, _local_alias=_local_alias)
+        return Ref(
+            base.kind,
+            base.name,
+            index=base.index,
+            attrs=base.attrs + ("[]",),
+        )
+    if isinstance(expr, ast.IfExp):
+        body = classify(expr.body, ctx, _local_alias=_local_alias)
+        orelse = classify(expr.orelse, ctx, _local_alias=_local_alias)
+        if body.kind == orelse.kind and body.name == orelse.name:
+            return body
+        return Ref(UNKNOWN, "ifexp", types=tuple(sorted({*body.types, *orelse.types})))
+    return _UNKNOWN_REF
+
+
+def _resolve_call_targets(
+    call: ast.Call, ctx: FunctionContext
+) -> Tuple[str, Tuple[str, ...]]:
+    """(resolution kind, target qualnames) for one call node."""
+    func = call.func
+    index = ctx.index
+    root_prefix = index.root_package + "."
+    if isinstance(func, ast.Name):
+        name = func.id
+        # Nested/sibling scope: foo() inside Class.method may be a
+        # module function or a sibling nested def.
+        resolved = index.resolve_name(name, ctx.fn.module)
+        if resolved in index.functions:
+            return "direct", (resolved,)
+        if resolved in index.classes:
+            init = index.lookup_method(resolved, "__init__")
+            return "direct", (init,) if init else ()
+        nested = f"{ctx.fn.qualname}.{name}"
+        if nested in index.functions:
+            return "direct", (nested,)
+        if name in _BUILTIN_NAMES:
+            return "builtin", ()
+        if resolved is not None and not resolved.startswith(root_prefix):
+            # Imported from outside the index (stdlib, third party).
+            return "external", ()
+        return "unresolved", ()
+    if isinstance(func, ast.Attribute):
+        method = func.attr
+        recv = classify(func.value, ctx)
+        if recv.kind == MODULE and not recv.attrs:
+            qual = f"{recv.name}.{method}"
+            if qual in index.functions:
+                return "direct", (qual,)
+            reexport = index.resolve_name(method, recv.name)
+            if reexport in index.functions:
+                return "direct", (reexport,)
+            if reexport in index.classes:
+                init = index.lookup_method(reexport, "__init__")
+                if init:
+                    return "direct", (init,)
+            return "external", ()
+        if recv.kind == CLASS and not recv.attrs:
+            target = index.lookup_method(recv.name, method)
+            if target:
+                return "direct", (target,)
+        candidates: Set[str] = set()
+        for cls in recv.types:
+            target = index.lookup_method(cls, method)
+            if target:
+                candidates.add(target)
+        if recv.kind == SELF and not recv.attrs and ctx.fn.cls:
+            target = index.lookup_method(ctx.fn.cls, method)
+            if target:
+                candidates.add(target)
+        if candidates:
+            return "direct", tuple(sorted(candidates))
+        if method in MUTATING_METHODS:
+            # Container mutation; the effect pass handles the receiver.
+            return "builtin", ()
+        by_name = index.methods_by_name.get(method, [])
+        if by_name and method in COMMON_OBJECT_METHODS:
+            return "unresolved", ()
+        if by_name and len(by_name) <= MAX_NAME_CANDIDATES:
+            return "heuristic", tuple(sorted(by_name))
+        if by_name:
+            return "unresolved", ()
+        if method in _BUILTIN_NAMES:
+            return "builtin", ()
+        # No index function has this name: it cannot land in analysed
+        # code (a stdlib method such as dict.values or math.ceil).
+        return "external", ()
+    return "unresolved", ()
+
+
+class CallGraph:
+    """All call edges, grouped by caller, plus resolution statistics."""
+
+    def __init__(self, index: PackageIndex):
+        self.index = index
+        self.edges_by_caller: Dict[str, List[CallEdge]] = {}
+        self.contexts: Dict[str, FunctionContext] = {}
+
+    def context(self, qualname: str) -> FunctionContext:
+        ctx = self.contexts.get(qualname)
+        if ctx is None:
+            ctx = FunctionContext(self.index, self.index.functions[qualname])
+            self.contexts[qualname] = ctx
+        return ctx
+
+    def edges(self, qualname: str) -> List[CallEdge]:
+        return self.edges_by_caller.get(qualname, [])
+
+    def stats(self) -> Dict[str, int]:
+        counts = {
+            "direct": 0,
+            "heuristic": 0,
+            "builtin": 0,
+            "external": 0,
+            "unresolved": 0,
+        }
+        for edges in self.edges_by_caller.values():
+            for edge in edges:
+                counts[edge.kind] += 1
+        counts["functions"] = len(self.index.functions)
+        counts["modules"] = len(self.index.modules)
+        return counts
+
+    def reachable(self, roots: Sequence[str], edge_filter=None) -> Set[str]:
+        """Functions reachable from ``roots``.
+
+        ``edge_filter(edge)`` decides which edges to traverse; by
+        default only ``direct`` edges are followed — heuristic by-name
+        fan-out is an over-approximation that checks handle explicitly
+        (reporting, not traversing) to keep their regions honest.
+        """
+        if edge_filter is None:
+            edge_filter = lambda edge: edge.kind == "direct"
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.index.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for edge in self.edges(current):
+                if not edge_filter(edge):
+                    continue
+                for target in edge.targets:
+                    if target not in seen:
+                        stack.append(target)
+        return seen
+
+
+def _call_nodes(fn: FunctionInfo) -> List[ast.Call]:
+    """Call sites belonging to this function, excluding nested defs."""
+    out: List[ast.Call] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn.node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    out.sort(key=lambda n: (n.lineno, n.col_offset))
+    return out
+
+
+def build_callgraph(index: PackageIndex) -> CallGraph:
+    """Resolve every call site in every indexed function."""
+    graph = CallGraph(index)
+    for qualname, fn in index.functions.items():
+        ctx = graph.context(qualname)
+        edges: List[CallEdge] = []
+        for call in _call_nodes(fn):
+            kind, targets = _resolve_call_targets(call, ctx)
+            receiver = (
+                classify(call.func.value, ctx)
+                if isinstance(call.func, ast.Attribute)
+                else None
+            )
+            callee_name = (
+                call.func.attr
+                if isinstance(call.func, ast.Attribute)
+                else (call.func.id if isinstance(call.func, ast.Name) else "<expr>")
+            )
+            arg_refs = tuple(
+                classify(arg, ctx) if not isinstance(arg, ast.Starred) else None
+                for arg in call.args
+            )
+            edges.append(
+                CallEdge(
+                    caller=qualname,
+                    node=call,
+                    line=call.lineno,
+                    kind=kind,
+                    targets=targets,
+                    callee_name=callee_name,
+                    receiver=receiver,
+                    arg_refs=arg_refs,
+                )
+            )
+        graph.edges_by_caller[qualname] = edges
+    return graph

@@ -1,0 +1,129 @@
+"""Configuration for the whole-program flow analysis.
+
+The defaults describe this repository's contracts: which modules hold
+observer-owned state, which functions are pure-observer entry points,
+and which ``Simulator`` methods mutate the event queue. Tests build a
+:class:`FlowConfig` by hand to analyse fixture packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+__all__ = ["FlowConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Knobs for the flow passes, keyed to the indexed root package."""
+
+    root_package: str = "repro"
+
+    #: Modules whose state observers may freely mutate (ownership
+    #: allowlist for PUR5xx). A class owns its writes when its defining
+    #: module matches one of these prefixes.
+    owned_module_prefixes: Tuple[str, ...] = (
+        "repro.obs",
+        "repro.analysis",
+        "repro.sim.trace",
+        "repro.sim.profiler",
+    )
+
+    #: Modules whose functions/methods are pure-observer entry points
+    #: (every function defined there, minus ``entry_exclude``).
+    entry_module_prefixes: Tuple[str, ...] = (
+        "repro.obs",
+        "repro.analysis.sanitize.runtime",
+        "repro.analysis.sanitize.lockcheck",
+        "repro.analysis.sanitize.racecheck",
+        "repro.analysis.sanitize.invariants",
+    )
+
+    #: Setup/teardown functions that legitimately wire observers into
+    #: sim objects (``bed.syscalls.obs = obs`` …). They are not
+    #: observer *hook* paths and are excluded from the entry set.
+    entry_exclude: FrozenSet[str] = frozenset(
+        {
+            "repro.obs.core.attach",
+            "repro.obs.core.attach_if_active",
+            "repro.obs.core.attach_topology",
+            "repro.obs.core.attach_topology_if_active",
+            "repro.obs.bundle.attach",
+            "repro.obs.bundle.run_traced",
+            "repro.obs.bundle.write_bundle",
+            "repro.analysis.sanitize.runtime.SanitizerHarness.__init__",
+            "repro.analysis.sanitize.runtime.SanitizerHarness.watch_inode",
+            "repro.analysis.sanitize.runtime.SanitizeSession.__enter__",
+            "repro.analysis.sanitize.runtime.SanitizeSession.__exit__",
+            "repro.analysis.sanitize.runtime.sanitized",
+            "repro.analysis.sanitize.runtime.attach_if_active",
+        }
+    )
+
+    #: Method names that schedule simulator events (PUR503 / DET152 /
+    #: SIM6xx sinks) when the receiver resolves to a simulator class.
+    schedule_methods: FrozenSet[str] = frozenset(
+        {
+            "call_after",
+            "call_at",
+            "schedule",
+            "schedule_at",
+            "push_at",
+            "spawn",
+            "alloc_seq",
+        }
+    )
+
+    #: Class names (last qualname component) treated as simulators.
+    simulator_classes: FrozenSet[str] = frozenset({"Simulator"})
+
+    #: Call names whose return value is nondeterministic (DET15x
+    #: sources). ``random.*`` module draws are matched structurally.
+    clock_calls: FrozenSet[str] = frozenset(
+        {"time.time", "time.monotonic", "time.perf_counter", "time.time_ns",
+         "time.monotonic_ns", "time.perf_counter_ns", "datetime.datetime.now",
+         "datetime.datetime.utcnow"}
+    )
+
+    #: Functions whose call fingerprints state (DET151 sinks), matched
+    #: by final qualname component.
+    fingerprint_calls: FrozenSet[str] = frozenset(
+        {"_fingerprint", "fingerprint", "fingerprint_events", "digest"}
+    )
+
+    #: Blocking / forbidden calls inside event handlers (LCK702),
+    #: matched against the dotted syntactic callee.
+    blocking_calls: FrozenSet[str] = frozenset(
+        {
+            "time.sleep",
+            "os.system",
+            "os.popen",
+            "subprocess.run",
+            "subprocess.Popen",
+            "subprocess.call",
+            "subprocess.check_call",
+            "subprocess.check_output",
+            "socket.socket",
+            "input",
+        }
+    )
+
+    #: Per-function cap on reported unresolved-ownership write sites
+    #: (PUR502) so one messy helper cannot flood the report.
+    max_unknown_sites: int = 3
+
+    def owns_module(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.owned_module_prefixes
+        )
+
+    def is_entry_module(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.entry_module_prefixes
+        )
+
+
+DEFAULT_CONFIG = FlowConfig()

@@ -52,7 +52,7 @@ import sys
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 __all__ = [
     "Rule",
@@ -61,6 +61,7 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "run_lint",
+    "fix_suppressions",
     "default_lint_root",
 ]
 
@@ -205,6 +206,15 @@ _MUTABLE_CTORS = frozenset(
 #: order-sensitive consumers of an iterable's raw order.
 _ORDER_SENSITIVE_FNS = frozenset(["list", "tuple", "enumerate", "reversed"])
 
+#: consumers for which iteration order is normalised (sorted) or
+#: irrelevant (reductions, set constructors): a set expression fed to
+#: one of these — directly or through a comprehension — is fine.
+_ORDER_INSENSITIVE_FNS = frozenset(
+    ["sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset"]
+)
+
+_COMPREHENSION_NODES = (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)
+
 _TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
 
 
@@ -243,6 +253,9 @@ class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str):
         self.path = path
         self.findings: List[LintFinding] = []
+        #: set-expression iter nodes exempt from DET103 because an
+        #: order-insensitive consumer normalises/ignores their order.
+        self._order_exempt: Set[int] = set()
 
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
         rule = RULES[code]
@@ -337,6 +350,16 @@ class _Visitor(ast.NodeVisitor):
                 "DET103",
                 f"{func.id}() over a set captures hash order; sort first",
             )
+        # Order-insensitive consumers (sorted/len/sum/...) normalise or
+        # ignore iteration order: exempt set-expression iters of any
+        # comprehension passed directly as an argument, so
+        # ``sorted(x for x in {...})`` does not fire.
+        if isinstance(func, ast.Name) and func.id in _ORDER_INSENSITIVE_FNS:
+            for arg in node.args:
+                if isinstance(arg, _COMPREHENSION_NODES):
+                    for gen in arg.generators:
+                        if _is_set_expr(gen.iter):
+                            self._order_exempt.add(id(gen.iter))
         self.generic_visit(node)
 
     def _flag_id_calls(self, node: ast.AST, where: str) -> None:
@@ -364,7 +387,7 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_comprehension(self, node: ast.comprehension) -> None:
-        if _is_set_expr(node.iter):
+        if _is_set_expr(node.iter) and id(node.iter) not in self._order_exempt:
             self._flag(
                 node.iter,
                 "DET103",
@@ -638,3 +661,67 @@ def run_lint(
         )
     failed = bool(errors) or (strict and bool(warnings))
     return 1 if failed else 0
+
+
+def fix_suppressions(
+    paths: Optional[Sequence[str]] = None,
+    write: bool = False,
+    out=None,
+) -> int:
+    """Remove stale ``# noqa`` comments that SUP401 flags.
+
+    Dry-run by default: prints each stale suppression that would be
+    removed and exits 1 if any exist (so CI can gate). With
+    ``write=True`` the files are rewritten in place and the exit is 0.
+    Only comments whose *every* own-rule code is stale are touched —
+    a noqa that still suppresses something never fires SUP401.
+    """
+    if out is None:
+        out = sys.stdout
+    if not paths:
+        paths = [default_lint_root()]
+    removed = 0
+    changed_files = 0
+    for path in _iter_py_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as err:
+            out.write(f"{path}: unreadable: {err}\n")
+            return 2
+        stale = [
+            f
+            for f in lint_source(source, path=str(path), strict=True)
+            if f.code == "SUP401"
+        ]
+        if not stale:
+            continue
+        lines = source.splitlines(keepends=True)
+        stale_lines = {f.line for f in stale}
+        for lineno in sorted(stale_lines):
+            raw = lines[lineno - 1]
+            match = _NOQA_RE.search(raw)
+            if match is None:
+                continue
+            newline = "\n" if raw.endswith("\n") else ""
+            fixed = raw[: match.start()].rstrip()
+            lines[lineno - 1] = fixed + newline
+            removed += 1
+            verb = "removed" if write else "would remove"
+            out.write(
+                f"{path}:{lineno}: {verb} stale "
+                f"`{raw[match.start():].strip()}`\n"
+            )
+        if write:
+            path.write_text("".join(lines), encoding="utf-8")
+            changed_files += 1
+    if write:
+        out.write(
+            f"removed {removed} stale suppression(s) in "
+            f"{changed_files} file(s)\n"
+        )
+        return 0
+    out.write(
+        f"{removed} stale suppression(s) found"
+        + ("; rerun with --write to apply\n" if removed else "\n")
+    )
+    return 1 if removed else 0

@@ -15,6 +15,7 @@ from .spec import (
     CheckSpec,
     ClientEventSpec,
     ExpectSpec,
+    ExperimentSpec,
     LinkFaultSpec,
     ProbeSpec,
     ScenarioSpec,
@@ -47,6 +48,7 @@ __all__ = [
     "CheckSpec",
     "ClientEventSpec",
     "ExpectSpec",
+    "ExperimentSpec",
     "LinkFaultSpec",
     "ProbeSpec",
     "ScenarioSpec",

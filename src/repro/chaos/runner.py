@@ -398,6 +398,48 @@ def _execute_sweep(spec: ScenarioSpec, seed: int):
     return payload, CheckContext(spec, payload, sweep_elapsed=elapsed)
 
 
+# -- experiment execution ------------------------------------------------------
+
+
+def _round_floats(value):
+    """Stabilise experiment curves for fingerprinting: floats carry
+    platform-independent deterministic arithmetic already, but rounding
+    keeps the payload JSON readable and cheap to diff."""
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, list):
+        return [_round_floats(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _round_floats(v) for k, v in sorted(value.items())}
+    return value
+
+
+def _execute_experiment(spec: ScenarioSpec, seed: int):
+    """Replay one registered paper experiment under pinned knobs.
+
+    The payload is the experiment's raw data (curves, sizes) plus its
+    verdict; every shape criterion becomes one invariant row, so a
+    corpus file gates both the figures' numbers (fingerprint) and the
+    paper's qualitative claims (failed-invariant names)."""
+    from ..experiments import get_experiment
+
+    exp = spec.experiment
+    experiment = get_experiment(exp.id)
+    result = experiment.run(scale=exp.scale, quick=exp.quick)
+    payload: Dict[str, Any] = {
+        "experiment": exp.id,
+        "scale": exp.scale,
+        "quick": exp.quick,
+        "criteria_passed": result.passed,
+    }
+    for name, value in sorted(result.data.items()):
+        if isinstance(value, (int, float, str, bool, list)):
+            payload[name] = _round_floats(value)
+    ctx = CheckContext(spec, payload)
+    ctx.experiment_result = result
+    return payload, ctx
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -409,7 +451,9 @@ def _execute(spec: ScenarioSpec, seed: int):
     fuzzer can treat them as findings and shrink them.
     """
     try:
-        if spec.sweep_loss_rates:
+        if spec.experiment is not None:
+            payload, ctx = _execute_experiment(spec, seed)
+        elif spec.sweep_loss_rates:
             payload, ctx = _execute_sweep(spec, seed)
         elif spec.bed.clients > 1:
             payload, ctx = _execute_fleet(spec, seed)
@@ -462,6 +506,13 @@ def run_spec(
         invariants.append(Invariant("completed", False, error))
     else:
         invariants.extend(run_checks(ctx))
+        exp_result = getattr(ctx, "experiment_result", None)
+        if exp_result is not None:
+            # Each paper shape criterion gates as its own invariant row.
+            invariants.extend(
+                Invariant(check.name, check.passed, check.measured)
+                for check in exp_result.comparison.checks
+            )
     if san_session is not None:
         invariants.extend(_sanitizer_invariants(san_session))
     fingerprint = _fingerprint(payload)

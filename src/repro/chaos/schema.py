@@ -282,7 +282,9 @@ _CHECK_SCHEMA = {
 
 SCENARIO_SCHEMA = {
     "type": "object",
-    "required": ["schema", "name", "bed", "workload"],
+    # A scenario carries either a workload (chaos run) or an experiment
+    # block (paper-figure replay); the spec layer enforces exactly one.
+    "required": ["schema", "name", "bed"],
     "additionalProperties": False,
     "properties": {
         "schema": {"type": "string", "enum": [f"repro-nfs/scenario@{SCHEMA_VERSION}"]},
@@ -323,6 +325,17 @@ SCENARIO_SCHEMA = {
                 "link": {"type": "array", "items": _LINK_FAULT_SCHEMA},
                 "server": {"type": "array", "items": _SERVER_EVENT_SCHEMA},
                 "client": {"type": "array", "items": _CLIENT_EVENT_SCHEMA},
+            },
+        },
+        #: Paper-experiment replay: a registry id plus pinned knobs.
+        "experiment": {
+            "type": "object",
+            "required": ["id"],
+            "additionalProperties": False,
+            "properties": {
+                "id": {"type": "string"},
+                "scale": {"type": "number", "exclusiveMinimum": 0},
+                "quick": {"type": "boolean"},
             },
         },
         "probes": {"type": "array", "items": _PROBE_SCHEMA},

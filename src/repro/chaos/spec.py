@@ -37,6 +37,7 @@ __all__ = [
     "CheckSpec",
     "BedSpec",
     "WorkloadSpec",
+    "ExperimentSpec",
     "ExpectSpec",
     "ScenarioSpec",
     "load_scenario",
@@ -340,6 +341,43 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
+class ExperimentSpec:
+    """A paper experiment replayed as a corpus scenario.
+
+    Instead of a bed + workload, the scenario names a figure/table
+    experiment by registry id (``fig1``, ``fig2`` …) with the scale and
+    quick knobs pinned, so the corpus can gate an experiment's payload
+    fingerprint and shape criteria exactly like a chaos run.
+    """
+
+    id: str
+    scale: float = 4.0
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ConfigError("experiment block needs an id")
+        if self.scale <= 0:
+            raise ConfigError("experiment scale must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"id": self.id}
+        if self.scale != 4.0:
+            out["scale"] = self.scale
+        if self.quick:
+            out["quick"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExperimentSpec":
+        return cls(
+            id=d["id"],
+            scale=d.get("scale", 4.0),
+            quick=d.get("quick", False),
+        )
+
+
+@dataclass(frozen=True)
 class ExpectSpec:
     """The corpus contract: what replaying this file must produce."""
 
@@ -372,7 +410,7 @@ class ScenarioSpec:
 
     name: str
     bed: BedSpec
-    workload: WorkloadSpec
+    workload: Optional[WorkloadSpec] = None
     description: str = ""
     seed: int = 1
     link_faults: Tuple[LinkFaultSpec, ...] = ()
@@ -382,8 +420,23 @@ class ScenarioSpec:
     checks: Tuple[CheckSpec, ...] = ()
     #: Loss-rate sweep: the bed re-runs once per rate (monotone-loss).
     sweep_loss_rates: Tuple[float, ...] = ()
+    #: Paper-experiment replay: mutually exclusive with workload/faults.
+    experiment: Optional[ExperimentSpec] = None
     expect: ExpectSpec = field(default_factory=ExpectSpec)
     provenance: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.experiment is None:
+            if self.workload is None:
+                raise ConfigError("scenario needs a workload or an experiment")
+        else:
+            if self.workload is not None:
+                raise ConfigError(
+                    "experiment scenarios take no workload; the experiment "
+                    "defines its own sweep"
+                )
+            if self.fault_count() or self.probes or self.sweep_loss_rates:
+                raise ConfigError("experiment scenarios take no fault schedule")
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -394,7 +447,10 @@ class ScenarioSpec:
             out["description"] = self.description
         out["seed"] = self.seed
         out["bed"] = self.bed.to_dict()
-        out["workload"] = self.workload.to_dict()
+        if self.workload is not None:
+            out["workload"] = self.workload.to_dict()
+        if self.experiment is not None:
+            out["experiment"] = self.experiment.to_dict()
         faults: Dict[str, Any] = {}
         if self.link_faults:
             faults["link"] = [f.to_dict() for f in self.link_faults]
@@ -435,8 +491,17 @@ class ScenarioSpec:
             name=d["name"],
             description=d.get("description", ""),
             seed=d.get("seed", 1),
-            bed=BedSpec.from_dict(d["bed"]),
-            workload=WorkloadSpec.from_dict(d["workload"]),
+            bed=BedSpec.from_dict(d.get("bed", {})),
+            workload=(
+                WorkloadSpec.from_dict(d["workload"])
+                if "workload" in d
+                else None
+            ),
+            experiment=(
+                ExperimentSpec.from_dict(d["experiment"])
+                if "experiment" in d
+                else None
+            ),
             link_faults=tuple(
                 LinkFaultSpec.from_dict(f) for f in faults.get("link", ())
             ),

@@ -350,6 +350,64 @@ def build_parser() -> argparse.ArgumentParser:
         dest="fmt",
         help="output format (default: text)",
     )
+    lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program flow analysis (repro-nfs flow)",
+    )
+    lint.add_argument(
+        "--fix-suppressions",
+        action="store_true",
+        help="remove stale noqa comments flagged by SUP401 (dry-run "
+        "unless --write)",
+    )
+    lint.add_argument(
+        "--write",
+        action="store_true",
+        help="with --fix-suppressions: rewrite files in place",
+    )
+    flow = sub.add_parser(
+        "flow",
+        help="whole-program flow analysis: prove the pure-observer, "
+        "determinism-taint, lock-discipline, and sim-API contracts",
+    )
+    flow.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="package directory to analyse (default: the repro package)",
+    )
+    flow.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too",
+    )
+    flow.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated flow rule codes to report (default: all)",
+    )
+    flow.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    flow.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="committed baseline to diff against; drift in either "
+        "direction fails",
+    )
+    flow.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a fresh baseline and exit 0",
+    )
     return parser
 
 
@@ -870,10 +928,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "metrics":
         return print_metrics(args.name, seed=args.seed)
     if args.command == "lint":
-        from ..analysis.sanitize.lint import run_lint
+        from ..analysis.sanitize.lint import fix_suppressions, run_lint
 
-        return run_lint(
+        if args.fix_suppressions:
+            return fix_suppressions(args.paths or None, write=args.write)
+        rc = run_lint(
             args.paths or None, strict=args.strict, select=args.select, fmt=args.fmt
+        )
+        if args.deep:
+            from pathlib import Path
+
+            from ..analysis.flow import run_flow
+
+            # Honour a committed baseline in the working directory so
+            # `lint --deep` matches what the CI flow job enforces.
+            baseline = "flow-baseline.json"
+            deep_rc = run_flow(
+                strict=args.strict,
+                fmt=args.fmt,
+                baseline=baseline if Path(baseline).exists() else None,
+            )
+            rc = max(rc, deep_rc)
+        return rc
+    if args.command == "flow":
+        from ..analysis.flow import run_flow
+
+        return run_flow(
+            root=args.root,
+            strict=args.strict,
+            select=args.select,
+            fmt=args.fmt,
+            baseline=args.baseline,
+            write_baseline=args.write_baseline,
         )
     if args.command == "list":
         for experiment_id in experiment_ids():

@@ -6,6 +6,7 @@ import json
 from repro.analysis.sanitize.lint import (
     RULES,
     default_lint_root,
+    fix_suppressions,
     lint_paths,
     lint_source,
     run_lint,
@@ -286,3 +287,154 @@ def test_cli_lint_select_and_format(tmp_path, capsys):
     assert cli_main(["lint", str(dirty), "--select", "DET105", "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert [f["code"] for f in payload] == ["DET105"]
+
+
+# -- DET103 regressions: comprehensions feeding order-insensitive sinks -------
+
+
+def test_det103_allows_genexp_over_set_into_sorted():
+    src = "out = sorted(x for x in {1, 2, 3})\n"
+    assert "DET103" not in codes(lint_source(src))
+
+
+def test_det103_allows_genexp_over_set_call_into_sum():
+    src = "def f(ys):\n    return sum(1 for x in set(ys))\n"
+    assert "DET103" not in codes(lint_source(src))
+
+
+def test_det103_allows_listcomp_over_set_into_min_max():
+    src = "lo = min([x for x in {3, 1}])\nhi = max([x for x in {3, 1}])\n"
+    assert "DET103" not in codes(lint_source(src))
+
+
+def test_det103_still_flags_bare_listcomp_over_set():
+    # Not fed to an order-insensitive consumer: order leaks out.
+    src = "out = [x for x in {1, 2, 3}]\n"
+    assert "DET103" in codes(lint_source(src))
+
+
+def test_det103_still_flags_list_call_over_set():
+    src = "out = list({1, 2, 3})\n"
+    assert "DET103" in codes(lint_source(src))
+
+
+def test_det103_still_flags_for_loop_over_set():
+    src = "def f(ys):\n    for x in set(ys):\n        print(x)\n"
+    assert "DET103" in codes(lint_source(src))
+
+
+def test_det103_nested_comprehension_exemption_is_per_iter():
+    # Only the genexp handed to sorted() is exempt; the sibling
+    # comprehension over a set still fires.
+    src = (
+        "a = sorted(x for x in {1, 2})\n"
+        "b = [x for x in {1, 2}]\n"
+    )
+    assert codes(lint_source(src)).count("DET103") == 1
+
+
+# -- fix_suppressions ---------------------------------------------------------
+
+
+def test_fix_suppressions_dry_run_reports_and_exits_one(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1  # noqa: DET101\n")
+    out = io.StringIO()
+    rc = fix_suppressions([str(target)], out=out)
+    assert rc == 1
+    assert "would remove" in out.getvalue()
+    # Dry run must not touch the file.
+    assert target.read_text() == "x = 1  # noqa: DET101\n"
+
+
+def test_fix_suppressions_write_rewrites_file(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "t = time.time()  # noqa: DET102\n"
+        "x = 1  # noqa: DET101\n"
+    )
+    out = io.StringIO()
+    rc = fix_suppressions([str(target)], write=True, out=out)
+    assert rc == 0
+    text = target.read_text()
+    # The live suppression survives; the stale one is stripped.
+    assert "noqa: DET102" in text
+    assert "noqa: DET101" not in text
+    assert text.endswith("x = 1\n")
+    assert "removed 1 stale suppression(s) in 1 file(s)" in out.getvalue()
+
+
+def test_fix_suppressions_clean_tree_exits_zero(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n")
+    out = io.StringIO()
+    assert fix_suppressions([str(target)], out=out) == 0
+    assert "0 stale suppression(s) found" in out.getvalue()
+
+
+def test_fix_suppressions_partially_live_noqa_untouched(tmp_path):
+    # One comment carrying a live code never fires SUP401, so the fixer
+    # must leave it alone even when a second listed code is stale.
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nt = time.time()  # noqa: DET102,DET101\n")
+    out = io.StringIO()
+    rc = fix_suppressions([str(target)], write=True, out=out)
+    assert rc == 0
+    assert "noqa: DET102,DET101" in target.read_text()
+
+
+def test_cli_lint_fix_suppressions(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1  # noqa: DET101\n")
+    assert cli_main(["lint", str(target), "--fix-suppressions"]) == 1
+    assert "would remove" in capsys.readouterr().out
+    assert cli_main(["lint", str(target), "--fix-suppressions", "--write"]) == 0
+    capsys.readouterr()
+    assert target.read_text() == "x = 1\n"
+
+
+# -- exit-code contract on broken input ---------------------------------------
+
+
+def test_run_lint_broken_file_is_syn001_exit_one(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    out = io.StringIO()
+    rc = run_lint([str(broken)], out=out)
+    assert rc == 1
+    assert "SYN001" in out.getvalue()
+
+
+def test_run_lint_json_field_set_is_stable(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    out = io.StringIO()
+    run_lint([str(dirty)], fmt="json", out=out)
+    payload = json.loads(out.getvalue())
+    assert payload
+    for finding in payload:
+        assert set(finding) == {
+            "path",
+            "line",
+            "col",
+            "code",
+            "message",
+            "severity",
+        }
+
+
+def test_cli_lint_deep_runs_flow_analysis(tmp_path, capsys, monkeypatch):
+    # --deep composes the shallow lint with the whole-program flow pass;
+    # exit is the max of both lanes. Run from the repo root so the
+    # committed flow-baseline.json is discovered.
+    import pathlib
+
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    monkeypatch.chdir(repo)
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    rc = cli_main(["lint", str(clean), "--deep"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "baselined" in captured.out

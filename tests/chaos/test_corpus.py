@@ -147,3 +147,74 @@ def test_corpus_files_are_canonical_json():
         doc = json.loads(text)
         assert text == load_scenario(path).to_json(), path
         assert doc["schema"] == "repro-nfs/scenario@1"
+
+
+# -- experiment scenarios (paper figures replayed as corpus gates) ------------
+
+
+def test_experiment_spec_round_trips():
+    from repro.chaos import ExperimentSpec, ScenarioSpec, BedSpec
+
+    spec = ScenarioSpec(
+        name="fig1-rt",
+        bed=BedSpec(),
+        experiment=ExperimentSpec(id="fig1", scale=16.0, quick=True),
+    )
+    rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+    assert rebuilt.workload is None
+    assert rebuilt.experiment.id == "fig1"
+
+
+def test_experiment_spec_rejects_workload_and_faults():
+    from repro.chaos import (
+        BedSpec,
+        ExperimentSpec,
+        ScenarioSpec,
+        ServerEventSpec,
+        WorkloadSpec,
+    )
+
+    exp = ExperimentSpec(id="fig1", scale=16.0, quick=True)
+    with pytest.raises(ConfigError, match="no workload"):
+        ScenarioSpec(
+            name="x",
+            bed=BedSpec(),
+            workload=WorkloadSpec(file_bytes=1),
+            experiment=exp,
+        )
+    with pytest.raises(ConfigError, match="no fault schedule"):
+        ScenarioSpec(
+            name="x",
+            bed=BedSpec(),
+            experiment=exp,
+            server_events=(ServerEventSpec(op="crash", at_ns=1),),
+        )
+    with pytest.raises(ConfigError, match="workload or an experiment"):
+        ScenarioSpec(name="x", bed=BedSpec())
+
+
+def test_experiment_scenario_rejects_unknown_registry_id():
+    from repro.chaos import BedSpec, ExperimentSpec, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name="x",
+        bed=BedSpec(),
+        experiment=ExperimentSpec(id="no-such-figure"),
+    )
+    with pytest.raises(ConfigError, match="unknown experiment"):
+        run_spec(spec, verify_determinism=False)
+
+
+def test_fig1_corpus_scenario_replays_strictly():
+    """The Figure 1 sweep is corpus-gated: pinned fingerprint, and every
+    paper shape criterion is an invariant row."""
+    replay = replay_file(
+        os.path.join(CORPUS, "fig1-throughput.json"), verify_determinism=False
+    )
+    assert replay.ok, replay.mismatches
+    assert replay.outcome.passed
+    names = [inv.name for inv in replay.outcome.invariants]
+    assert "local memory-write peak dwarfs NFS" in names
+    assert replay.spec.experiment.id == "fig1"
+    assert replay.spec.experiment.quick is True

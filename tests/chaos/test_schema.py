@@ -28,9 +28,21 @@ def test_wrong_schema_tag_rejected():
 
 def test_missing_required_key_names_path():
     doc = minimal()
-    del doc["workload"]
-    with pytest.raises(SchemaError, match="missing required key 'workload'"):
+    del doc["bed"]
+    with pytest.raises(SchemaError, match="missing required key 'bed'"):
         validate(doc, SCENARIO_SCHEMA)
+
+
+def test_workload_is_schema_optional_but_spec_required():
+    # The schema admits a workload-less document (experiment scenarios
+    # omit it); the spec layer enforces workload-xor-experiment.
+    import json
+
+    doc = minimal()
+    del doc["workload"]
+    validate(doc, SCENARIO_SCHEMA)
+    with pytest.raises(Exception, match="workload or an experiment"):
+        loads_scenario(json.dumps(doc))
 
 
 def test_unknown_key_rejected_with_path():
