@@ -7,12 +7,15 @@ millisecond outliers (§3.3), spike counting, first-call exclusion
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import math
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
     "mean",
     "stddev",
     "percentile",
+    "percentile_of_sorted",
+    "knee_point",
     "linear_slope",
     "windowed_jitter",
     "ratio",
@@ -34,19 +37,42 @@ def stddev(values: Sequence[float]) -> float:
     return (sum((v - m) ** 2 for v in values) / (n - 1)) ** 0.5
 
 
-def percentile(values: Sequence[float], p: float) -> float:
-    """Linear-interpolated percentile, p in [0, 100]."""
-    if not values:
-        return 0.0
+def percentile_of_sorted(
+    ordered: Sequence[float], p: float, method: str = "linear"
+) -> float:
+    """Percentile of an already-sorted sequence.
+
+    The single interpolation implementation shared by
+    :func:`percentile`, :class:`~repro.bench.latency.LatencyTrace`
+    and the windowed histograms in :mod:`repro.obs.timeseries`:
+
+    - ``"linear"``: NIST linear interpolation between closest ranks,
+      ``p`` in [0, 100], clamped to the bracketing interval so float
+      rounding can never push the interpolant outside it.
+    - ``"nearest-rank"``: ``ceil(p/100 * n)``-th order statistic,
+      ``p`` in (0, 100] — the convention the latency traces use (and
+      which the pinned fleet fingerprints depend on).
+    """
+    n = len(ordered)
+    if method == "nearest-rank":
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile out of range: {p!r}")
+        if n == 0:
+            return 0
+        rank = math.ceil(p / 100 * n)
+        return ordered[rank - 1]
+    if method != "linear":
+        raise ValueError(f"unknown percentile method: {method!r}")
     if not 0 <= p <= 100:
         raise ValueError(f"percentile {p} out of range")
-    ordered = sorted(values)
-    if len(ordered) == 1:
+    if n == 0:
+        return 0.0
+    if n == 1:
         return ordered[0]
-    rank = (len(ordered) - 1) * p / 100
+    rank = (n - 1) * p / 100
     low = int(rank)
     frac = rank - low
-    if low + 1 >= len(ordered):
+    if low + 1 >= n:
         return ordered[-1]
     lo_v, hi_v = ordered[low], ordered[low + 1]
     if lo_v == hi_v:
@@ -54,6 +80,57 @@ def percentile(values: Sequence[float], p: float) -> float:
     # Clamp: rounding (e.g. denormal products snapping to 0) must never
     # push the interpolant outside its bracketing interval.
     return min(max(lo_v * (1 - frac) + hi_v * frac, lo_v), hi_v)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100]."""
+    if not values:
+        return 0.0
+    return percentile_of_sorted(sorted(values), p, method="linear")
+
+
+def knee_point(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Optional[int]:
+    """Index of the knee of a monotone-ish curve, or None.
+
+    Uses maximum discrete curvature on the normalised curve: both axes
+    are scaled to [0, 1] (so a knee in latency-vs-clients does not
+    depend on units), then the interior point with the largest turning
+    angle between its adjacent chords wins.  Needs at least 3 points
+    and a non-degenerate span on both axes.  The SLO reports use this
+    to locate the latency-vs-load knee; the ``scale`` experiment uses
+    it on the latency-vs-clients curve.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("knee_point needs equal-length xs and ys")
+    if n < 3:
+        return None
+    x_span = max(xs) - min(xs)
+    y_span = max(ys) - min(ys)
+    if x_span == 0 or y_span == 0:
+        return None
+    x_min, y_min = min(xs), min(ys)
+    nx = [(x - x_min) / x_span for x in xs]
+    ny = [(y - y_min) / y_span for y in ys]
+    best_i: Optional[int] = None
+    best_curv = 0.0
+    for i in range(1, n - 1):
+        ax, ay = nx[i] - nx[i - 1], ny[i] - ny[i - 1]
+        bx, by = nx[i + 1] - nx[i], ny[i + 1] - ny[i]
+        cross = ax * by - ay * bx
+        la = math.hypot(ax, ay)
+        lb = math.hypot(bx, by)
+        if la == 0 or lb == 0:
+            continue
+        # Turning-angle curvature: |sin(theta)| weighted against the
+        # chord lengths, so sharp bends on short segments dominate.
+        curv = abs(cross) / (la * lb * (la + lb))
+        if curv > best_curv:
+            best_curv = curv
+            best_i = i
+    return best_i
 
 
 def linear_slope(ys: Sequence[float]) -> float:

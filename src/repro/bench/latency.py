@@ -9,9 +9,9 @@ duration, supporting the actual-latency plots (Figs. 2-4), histograms
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Tuple
 
+from ..analysis.stats import percentile_of_sorted
 from ..units import NS_PER_MS, to_us
 
 __all__ = ["LatencyTrace"]
@@ -101,29 +101,18 @@ class LatencyTrace:
 
     def percentile_ns(self, pct: float, skip_first: int = 0) -> int:
         """Nearest-rank percentile of latency (``pct`` in (0, 100])."""
-        if not 0 < pct <= 100:
-            raise ValueError(f"percentile out of range: {pct!r}")
         values = sorted(self._latencies[skip_first:])
-        if not values:
-            return 0
-        rank = math.ceil(pct / 100 * len(values))
-        return values[rank - 1]
+        return percentile_of_sorted(values, pct, method="nearest-rank")
 
     def percentiles_ns(
         self, pcts: Tuple[float, ...] = (50, 90, 99), skip_first: int = 0
     ) -> "dict":
         """Several nearest-rank percentiles from one sort."""
         values = sorted(self._latencies[skip_first:])
-        out = {}
-        for pct in pcts:
-            if not 0 < pct <= 100:
-                raise ValueError(f"percentile out of range: {pct!r}")
-            if not values:
-                out[pct] = 0
-                continue
-            rank = math.ceil(pct / 100 * len(values))
-            out[pct] = values[rank - 1]
-        return out
+        return {
+            pct: percentile_of_sorted(values, pct, method="nearest-rank")
+            for pct in pcts
+        }
 
     def jitter_ns(self, exclude_above_ns: Optional[int] = None) -> float:
         """Standard deviation of latency — the paper's "jitter"."""

@@ -495,11 +495,19 @@ def run_spec(
     """
     seed = spec.seed if seed is None else seed
     san_session = None
+    obs_sess = None
     with ExitStack() as stack:
         if sanitize:
             from ..analysis.sanitize import sanitized
 
             san_session = stack.enter_context(sanitized())
+        if spec.slos:
+            # SLO gating needs timelines, so the first execution runs
+            # observed.  The determinism replay below stays unobserved,
+            # so its fingerprint match doubles as a pure-observer proof.
+            from ..obs.core import observed
+
+            obs_sess = stack.enter_context(observed())
         payload, ctx, error = _execute(spec, seed)
     invariants: List[Invariant] = []
     if error is not None:
@@ -513,6 +521,26 @@ def run_spec(
                 Invariant(check.name, check.passed, check.measured)
                 for check in exp_result.comparison.checks
             )
+        if obs_sess is not None and obs_sess.observabilities:
+            from ..obs.slo import evaluate_slos
+
+            report = evaluate_slos(
+                obs_sess.observabilities[0].timelines, spec.slos
+            )
+            for row in report["slos"]:
+                attained = row["attained"]
+                detail = (
+                    f"{row['verdict']}: attained "
+                    + (f"{attained:.6f}" if attained is not None else "n/a")
+                    + f" target {row['spec']['target']}"
+                )
+                invariants.append(
+                    Invariant(
+                        f"slo-{row['spec']['name']}",
+                        row["verdict"] == "ok",
+                        detail,
+                    )
+                )
     if san_session is not None:
         invariants.extend(_sanitizer_invariants(san_session))
     fingerprint = _fingerprint(payload)

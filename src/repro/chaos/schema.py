@@ -269,6 +269,22 @@ _PROBE_SCHEMA = {
     },
 }
 
+_SLO_SCHEMA = {
+    "type": "object",
+    "required": ["name", "metric", "threshold"],
+    "additionalProperties": False,
+    "properties": {
+        "name": {"type": "string"},
+        #: Objective timeline key (suffix-matched, so fleet-scoped keys
+        #: fold into one objective); see repro.obs.slo.SloSpec.
+        "metric": {"type": "string"},
+        "threshold": {"type": "number", "minimum": 0},
+        "target": {"type": "number", "exclusiveMinimum": 0, "maximum": 1},
+        "burn_windows_ns": {"type": "array", "items": _POS, "minItems": 1},
+        "burn_factor": {"type": "number", "exclusiveMinimum": 0},
+    },
+}
+
 _CHECK_SCHEMA = {
     "type": "object",
     "required": ["kind"],
@@ -340,6 +356,9 @@ SCENARIO_SCHEMA = {
         },
         "probes": {"type": "array", "items": _PROBE_SCHEMA},
         "checks": {"type": "array", "items": _CHECK_SCHEMA},
+        #: SLO expectations: the run executes observed, each objective
+        #: gates as an ``slo-<name>`` invariant row.
+        "slo": {"type": "array", "items": _SLO_SCHEMA, "minItems": 1},
         #: monotone sweeps: the whole scenario re-runs per loss rate.
         "sweep": {
             "type": "object",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
+from ..obs.slo import SloSpec
 from ..units import seconds
 from .schema import (
     SCENARIO_SCHEMA,
@@ -418,6 +419,9 @@ class ScenarioSpec:
     client_events: Tuple[ClientEventSpec, ...] = ()
     probes: Tuple[ProbeSpec, ...] = ()
     checks: Tuple[CheckSpec, ...] = ()
+    #: SLO expectations: the run executes observed and each objective
+    #: gates as an ``slo-<name>`` invariant row (repro.obs.slo).
+    slos: Tuple[SloSpec, ...] = ()
     #: Loss-rate sweep: the bed re-runs once per rate (monotone-loss).
     sweep_loss_rates: Tuple[float, ...] = ()
     #: Paper-experiment replay: mutually exclusive with workload/faults.
@@ -437,6 +441,11 @@ class ScenarioSpec:
                 )
             if self.fault_count() or self.probes or self.sweep_loss_rates:
                 raise ConfigError("experiment scenarios take no fault schedule")
+        if self.slos and (self.experiment is not None or self.sweep_loss_rates):
+            raise ConfigError(
+                "slo blocks apply to single-run workload scenarios, not "
+                "experiments or sweeps"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -464,6 +473,8 @@ class ScenarioSpec:
             out["probes"] = [p.to_dict() for p in self.probes]
         if self.checks:
             out["checks"] = [c.to_dict() for c in self.checks]
+        if self.slos:
+            out["slo"] = [s.to_dict() for s in self.slos]
         if self.sweep_loss_rates:
             out["sweep"] = {"loss_rates": list(self.sweep_loss_rates)}
         expect = self.expect.to_dict()
@@ -513,6 +524,7 @@ class ScenarioSpec:
             ),
             probes=tuple(ProbeSpec.from_dict(p) for p in d.get("probes", ())),
             checks=tuple(CheckSpec.from_dict(c) for c in d.get("checks", ())),
+            slos=tuple(SloSpec.from_dict(s) for s in d.get("slo", ())),
             sweep_loss_rates=tuple(d.get("sweep", {}).get("loss_rates", ())),
             expect=ExpectSpec.from_dict(d.get("expect", {})),
             provenance=provenance,

@@ -18,6 +18,8 @@ Examples::
     repro-nfs trace fig1                 # Chrome trace + metrics bundle
     repro-nfs trace lossy-burst --out obs-lossy
     repro-nfs metrics fig1               # prometheus text to stdout
+    repro-nfs report obs-fig1            # ASCII dashboard from a bundle
+    repro-nfs report fleet --html fleet.html
     repro-nfs lint --strict
     repro-nfs lint src/repro/sim --select DET101,DEAD301
 """
@@ -80,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="additionally run each experiment's observed trace point and "
         "write its trace/metrics/profile bundle under DIR/<id>",
+    )
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="with --obs-dir: overwrite existing bundles",
     )
     run.add_argument(
         "--jobs",
@@ -292,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run each scenario observed and write its trace/metrics/"
         "profile bundle under DIR/<scenario>",
     )
+    faults.add_argument(
+        "--force",
+        action="store_true",
+        help="with --obs-dir: overwrite existing bundles",
+    )
     trace = sub.add_parser(
         "trace",
         help="run one experiment trace-point or fault scenario observed "
@@ -308,6 +320,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="bundle directory (default: obs-<name>)",
     )
     trace.add_argument(
+        "--seed", type=int, default=1, help="fault RNG seed (default 1)"
+    )
+    trace.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing bundle in the output directory",
+    )
+    report = sub.add_parser(
+        "report",
+        help="render a timeline/SLO dashboard from an obs bundle "
+        "directory, or re-run an observed trace point and report it",
+    )
+    report.add_argument(
+        "target",
+        help="bundle directory (containing timeline.json) or an "
+        "experiment id / fault scenario / trace-point name",
+    )
+    report.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="write a standalone HTML dashboard to PATH instead of "
+        "printing ASCII",
+    )
+    report.add_argument(
         "--seed", type=int, default=1, help="fault RNG seed (default 1)"
     )
     metrics = sub.add_parser(
@@ -418,6 +455,7 @@ def run_experiments(
     out=None,
     dump_dir: Optional[str] = None,
     obs_dir: Optional[str] = None,
+    force: bool = False,
     context: Optional["ExecutionContext"] = None,
 ) -> bool:
     from .base import ExecutionContext
@@ -447,19 +485,27 @@ def run_experiments(
 
             if experiment_id in TRACE_POINTS:
                 run_trace_bundle(
-                    experiment_id, os.path.join(obs_dir, experiment_id), out=out
+                    experiment_id,
+                    os.path.join(obs_dir, experiment_id),
+                    force=force,
+                    out=out,
                 )
         all_passed = all_passed and result.passed
     return all_passed
 
 
 def run_trace_bundle(
-    name: str, out_dir: Optional[str] = None, seed: int = 1, out=None
+    name: str,
+    out_dir: Optional[str] = None,
+    seed: int = 1,
+    force: bool = False,
+    out=None,
 ) -> int:
     """``repro-nfs trace``: one observed run, one bundle on disk."""
     import os
 
     from ..bench.report import trace_summary
+    from ..errors import ConfigError
     from ..obs.bundle import run_traced, write_bundle
 
     if out is None:
@@ -471,9 +517,13 @@ def run_trace_bundle(
         return 1
     multi = len(observabilities) > 1
     for i, obs in enumerate(observabilities):
-        paths = write_bundle(
-            obs, out_dir, name, index=i if multi else None
-        )
+        try:
+            paths = write_bundle(
+                obs, out_dir, name, index=i if multi else None, force=force
+            )
+        except ConfigError as err:
+            out.write(f"error: {err}\n")
+            return 1
         for path in paths:
             out.write(f"wrote {path}\n")
     if result is not None:
@@ -488,6 +538,73 @@ def run_trace_bundle(
         f"load {os.path.join(out_dir, 'trace.json')} in "
         "https://ui.perfetto.dev or chrome://tracing\n"
     )
+    return 0
+
+
+def run_report(
+    target: str, html: Optional[str] = None, seed: int = 1, out=None
+) -> int:
+    """``repro-nfs report``: timeline/SLO dashboard for one run.
+
+    ``target`` is either an existing obs bundle directory — the
+    timelines and slo-report are loaded from ``timeline*.json`` /
+    ``slo*.json`` — or a trace-point / fault-scenario name, in which
+    case the run happens here, observed, and is reported directly.
+    """
+    import json
+    import os
+
+    from ..obs.report import render_ascii, render_html
+    from ..obs.slo import evaluate_slos
+    from ..obs.timeseries import TimelineRegistry
+
+    if out is None:
+        out = sys.stdout
+    pairs = []  # (label, TimelineRegistry, slo-report-or-None)
+    if os.path.isdir(target):
+        names = sorted(
+            n
+            for n in os.listdir(target)
+            if n.startswith("timeline") and n.endswith(".json")
+        )
+        if not names:
+            out.write(f"{target}: no timeline*.json bundle files\n")
+            return 1
+        for tname in names:
+            with open(os.path.join(target, tname), encoding="utf-8") as fh:
+                registry = TimelineRegistry.from_snapshot(json.load(fh))
+            sname = "slo" + tname[len("timeline"):]
+            spath = os.path.join(target, sname)
+            report = None
+            if os.path.exists(spath):
+                with open(spath, encoding="utf-8") as fh:
+                    report = json.load(fh)
+            pairs.append((f"{target}/{tname}", registry, report))
+    else:
+        from ..obs.bundle import run_traced
+
+        observabilities, _, _ = run_traced(target, seed=seed)
+        if not observabilities:
+            out.write(f"{target}: nothing observed\n")
+            return 1
+        for i, obs in enumerate(observabilities):
+            label = target if len(observabilities) == 1 else f"{target}[{i}]"
+            pairs.append(
+                (label, obs.timelines, evaluate_slos(obs.timelines))
+            )
+    for i, (label, registry, report) in enumerate(pairs):
+        if html:
+            path = html
+            if len(pairs) > 1:
+                root, ext = os.path.splitext(html)
+                path = f"{root}-{i}{ext}"
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(render_html(registry, report, title=label))
+            out.write(f"wrote {path}\n")
+        else:
+            out.write(f"== report: {label} ==\n")
+            out.write(render_ascii(registry, report))
+            out.write("\n")
     return 0
 
 
@@ -676,6 +793,7 @@ def run_fault_scenarios(
     verify: bool = True,
     sanitize: bool = False,
     obs_dir: Optional[str] = None,
+    force: bool = False,
     out=None,
 ) -> bool:
     from ..faults import SCENARIOS, run_scenario
@@ -698,17 +816,23 @@ def run_fault_scenarios(
         if obs_dir is not None and outcome.observabilities:
             import os
 
+            from ..errors import ConfigError
             from ..obs.bundle import write_bundle
 
             multi = len(outcome.observabilities) > 1
-            for i, obs in enumerate(outcome.observabilities):
-                for path in write_bundle(
-                    obs,
-                    os.path.join(obs_dir, name),
-                    name,
-                    index=i if multi else None,
-                ):
-                    out.write(f"  wrote {path}\n")
+            try:
+                for i, obs in enumerate(outcome.observabilities):
+                    for path in write_bundle(
+                        obs,
+                        os.path.join(obs_dir, name),
+                        name,
+                        index=i if multi else None,
+                        force=force,
+                    ):
+                        out.write(f"  wrote {path}\n")
+            except ConfigError as err:
+                out.write(f"  error: {err}\n")
+                all_passed = False
         verdict = "PASS" if outcome.passed else "FAIL"
         out.write(
             f"{verdict} {name} (seed={seed}, "
@@ -900,6 +1024,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             verify=not args.no_verify,
             sanitize=args.sanitize,
             obs_dir=args.obs_dir,
+            force=args.force,
         )
         return 0 if ok else 1
     if args.command == "corpus":
@@ -924,7 +1049,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0 if ok else 1
     if args.command == "trace":
-        return run_trace_bundle(args.name, out_dir=args.out, seed=args.seed)
+        return run_trace_bundle(
+            args.name, out_dir=args.out, seed=args.seed, force=args.force
+        )
+    if args.command == "report":
+        return run_report(args.target, html=args.html, seed=args.seed)
     if args.command == "metrics":
         return print_metrics(args.name, seed=args.seed)
     if args.command == "lint":
@@ -988,7 +1117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     ok = run_experiments(
         ids, scale=scale, quick=args.quick, dump_dir=args.dump_dir,
-        obs_dir=args.obs_dir, context=context,
+        obs_dir=args.obs_dir, force=args.force, context=context,
     )
     return 0 if ok and scenarios_ok else 1
 

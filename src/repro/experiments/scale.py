@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import List
 
 from ..analysis import Comparison
+from ..analysis.stats import knee_point
 from ..topology import FleetJobSpec
 from ..units import KIB, MIB, ms
 from .base import Experiment, format_table
@@ -97,6 +98,7 @@ class Scale(Experiment):
         data["counts"] = list(counts)
         rows: List[tuple] = []
         spreads = {}
+        knees = {}
         for t, target in enumerate(targets):
             points = results[t * len(counts) : (t + 1) * len(counts)]
             aggregate = [p.aggregate_mbps for p in points]
@@ -106,9 +108,17 @@ class Scale(Experiment):
                 shares = sorted(p.servers[0]["ingest_shares"].values())
                 spread.append(shares[-1] / shares[0] if shares[0] else 1.0)
             spreads[target] = spread
+            # Latency-vs-clients: the fleet's completion latency bends
+            # where the server's ingest queue starts charging each new
+            # client the full serial drain time (and again, harder,
+            # where retransmit waste sets in at the full-scale counts).
+            completion_ms = [p.span_ns / 1e6 for p in points]
+            knee = knee_point(list(counts), completion_ms)
+            knees[target] = counts[knee] if knee is not None else None
             data[f"{target}_aggregate_mbps"] = aggregate
             data[f"{target}_jain"] = fairness
             data[f"{target}_share_spread"] = spread
+            data[f"{target}_completion_ms"] = completion_ms
             for count, agg, jain, spr in zip(counts, aggregate, fairness, spread):
                 rows.append((target, count, agg, jain, spr))
 
@@ -153,6 +163,16 @@ class Scale(Experiment):
                 f"{spreads['linux'][-1]:.3f}x vs filer "
                 f"{spreads['netapp'][-1]:.3f}x",
             )
+
+        data["knee_clients"] = knees
+        comparison.add(
+            "latency-vs-clients knee detected on every completion curve",
+            all(k is not None for k in knees.values()),
+            paper="latency bends where the server's ingest saturates",
+            measured=", ".join(
+                f"{t} at {knees[t]}" for t in sorted(knees)
+            ),
+        )
 
         skew_points = results[len(targets) * len(counts) :]
         skew_jain = [p.fairness for p in skew_points]

@@ -87,6 +87,7 @@ class PageCache:
         if obs.enabled:
             obs.count("pagecache/bytes_charged", nbytes)
             obs.gauge("pagecache/dirty_bytes", self.dirty_bytes)
+            obs.series_gauge("pagecache/dirty_bytes", self.dirty_bytes)
             obs.sample("pagecache", "dirty_bytes", self.dirty_bytes)
             if throttle_start is not None:
                 obs.count("pagecache/throttle_events")
@@ -105,6 +106,7 @@ class PageCache:
         if obs.enabled:
             obs.count("pagecache/bytes_uncharged", nbytes)
             obs.gauge("pagecache/dirty_bytes", self.dirty_bytes)
+            obs.series_gauge("pagecache/dirty_bytes", self.dirty_bytes)
             obs.sample("pagecache", "dirty_bytes", self.dirty_bytes)
         self._waitq.wake_all()
 

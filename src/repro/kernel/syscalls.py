@@ -67,11 +67,10 @@ class SyscallLayer:
         if obs.enabled:
             obs.count("syscall/write_calls")
             obs.count("syscall/write_bytes", written)
-            obs.observe(
-                "syscall/write_latency_us",
-                (self.host.sim.now - start) // 1000,
-                LATENCY_BUCKETS_US,
-            )
+            latency_us = (self.host.sim.now - start) // 1000
+            obs.observe("syscall/write_latency_us", latency_us, LATENCY_BUCKETS_US)
+            obs.series_count("syscall/write_bytes", written)
+            obs.series_observe("syscall/write_latency_us", latency_us)
             self._span_exit(span)
         return written
 

@@ -60,6 +60,7 @@ class Link:
         "batch_delivery",
         "_pending",
         "_head_armed",
+        "_queue_series_key",
     )
 
     def __init__(
@@ -99,6 +100,9 @@ class Link:
         #: seq-monotone.  Only the head is in the simulator heap.
         self._pending: deque = deque()
         self._head_armed = False
+        #: Cached timeline key: send() is the hottest path in the net
+        #: layer, so the per-link key string is built exactly once.
+        self._queue_series_key = f"net/{name}/queue_ns"
 
     @staticmethod
     def _payload_span(args) -> int:
@@ -132,6 +136,7 @@ class Link:
         if obs.enabled:
             obs.count("net/frames_sent")
             obs.count("net/bytes_sent", wire_bytes)
+            obs.series_gauge(self._queue_series_key, queued)
         if self.fault is not None:
             deliveries = self.fault.on_frame(wire_bytes)
             if not deliveries:

@@ -328,6 +328,7 @@ class NfsClient:
             else:
                 req.verf = result.verf
                 inode.note_unstable(req)
+                self.obs.series_gauge("nfs/unstable_bytes", inode.unstable_bytes)
             self._writeback_retired()
             if result.committed >= Stable.DATA_SYNC:
                 self.pagecache.uncharge(PAGE_SIZE)
@@ -499,6 +500,7 @@ class NfsClient:
             self.live_requests -= 1
             self.stats.bytes_acked_stable += req.nbytes
             self.pagecache.uncharge(PAGE_SIZE)
+        self.obs.series_gauge("nfs/unstable_bytes", inode.unstable_bytes)
         inode.commit_in_flight = False
         inode.waitq.wake_all()
 

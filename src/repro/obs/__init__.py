@@ -26,6 +26,18 @@ from .export import (
     validate_chrome_trace,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import render_ascii, render_html, sparkline
+from .slo import DEFAULT_SLOS, SLO_REPORT_SCHEMA, SloSpec, evaluate_slos
+from .timeseries import (
+    DEFAULT_RETENTION,
+    DEFAULT_WINDOW_NS,
+    TIMELINE_SCHEMA,
+    LogLinearHistogram,
+    TimelineRegistry,
+    WindowedCounter,
+    WindowedGauge,
+    WindowedHistogram,
+)
 
 __all__ = [
     "DISABLED",
@@ -46,4 +58,19 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "render_ascii",
+    "render_html",
+    "sparkline",
+    "DEFAULT_SLOS",
+    "SLO_REPORT_SCHEMA",
+    "SloSpec",
+    "evaluate_slos",
+    "DEFAULT_RETENTION",
+    "DEFAULT_WINDOW_NS",
+    "TIMELINE_SCHEMA",
+    "LogLinearHistogram",
+    "TimelineRegistry",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
 ]

@@ -5,7 +5,9 @@ A *bundle* is the on-disk artefact ``repro-nfs trace`` and the
 
 * ``trace.json`` — Chrome trace-event JSON (Perfetto-loadable),
 * ``metrics.prom`` — prometheus-style text dump,
-* ``profile.txt`` — readprofile-style flat profile.
+* ``profile.txt`` — readprofile-style flat profile,
+* ``timeline.json`` — windowed per-layer timelines (``timeline@1``),
+* ``slo.json`` — SLO verdicts over those timelines (``slo-report@1``).
 
 Each experiment id maps to a small single-bed *trace point* — a
 representative configuration observed end to end.  Figure sweeps run
@@ -20,9 +22,11 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import ConfigError
 from ..units import KIB, MIB
 from .core import Observability, observed
 from .export import chrome_trace, flat_profile, prometheus_text, validate_chrome_trace
+from .slo import evaluate_slos
 
 __all__ = ["TRACE_POINTS", "run_traced", "write_bundle", "trace_names"]
 
@@ -92,8 +96,6 @@ def run_traced(name: str, seed: int = 1):
     if name in SCENARIOS:
         outcome = run_scenario(name, seed=seed, verify_determinism=True, observe=True)
         return outcome.observabilities or [], None, outcome
-    from ..errors import ConfigError
-
     raise ConfigError(
         f"unknown trace target {name!r} (expected one of {', '.join(trace_names())})"
     )
@@ -106,34 +108,51 @@ def write_bundle(
     profiler=None,
     trace=None,
     index: Optional[int] = None,
+    force: bool = False,
 ) -> List[str]:
     """Write one observer's bundle into ``out_dir``; returns the paths.
 
     Multi-bed runs (e.g. the monotone-loss scenario) pass ``index`` to
-    suffix the files per bed.
+    suffix the files per bed.  Refuses to clobber an existing bundle
+    file unless ``force`` is set (``--force`` on the CLI).
     """
     os.makedirs(out_dir, exist_ok=True)
     suffix = "" if index is None else f"-{index}"
-    paths: List[str] = []
+    names = [
+        f"trace{suffix}.json",
+        f"metrics{suffix}.prom",
+        f"profile{suffix}.txt",
+        f"timeline{suffix}.json",
+        f"slo{suffix}.json",
+    ]
+    paths = [os.path.join(out_dir, n) for n in names]
+    if not force:
+        clobbered = [p for p in paths if os.path.exists(p)]
+        if clobbered:
+            raise ConfigError(
+                f"refusing to overwrite {', '.join(clobbered)} "
+                "(pass --force to replace an existing bundle)"
+            )
+    trace_path, metrics_path, profile_path, timeline_path, slo_path = paths
 
     trace_obj = chrome_trace(obs, process_name=f"repro-nfs {name}")
     validate_chrome_trace(trace_obj)
-    trace_path = os.path.join(out_dir, f"trace{suffix}.json")
     with open(trace_path, "w") as f:
         json.dump(trace_obj, f, indent=1, sort_keys=True)
-    paths.append(trace_path)
 
-    metrics_path = os.path.join(out_dir, f"metrics{suffix}.prom")
     with open(metrics_path, "w") as f:
         f.write(prometheus_text(obs.metrics))
-    paths.append(metrics_path)
 
     if profiler is None:
         profiler = obs.profiler
     if trace is None:
         trace = obs.latency_trace
-    profile_path = os.path.join(out_dir, f"profile{suffix}.txt")
     with open(profile_path, "w") as f:
         f.write(flat_profile(profiler, registry=obs.metrics, trace=trace))
-    paths.append(profile_path)
+
+    with open(timeline_path, "w") as f:
+        json.dump(obs.timelines.snapshot(), f, indent=1, sort_keys=True)
+
+    with open(slo_path, "w") as f:
+        json.dump(evaluate_slos(obs.timelines), f, indent=1, sort_keys=True)
     return paths

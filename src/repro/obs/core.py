@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional
 
 from ..sim.trace import Tracer
 from .metrics import MetricsRegistry
+from .timeseries import DEFAULT_WINDOW_NS, TimelineRegistry
 
 __all__ = [
     "Observability",
@@ -55,6 +56,7 @@ class Observability:
         "sim",
         "enabled",
         "metrics",
+        "timelines",
         "tracer",
         "profiler",
         "latency_trace",
@@ -62,10 +64,17 @@ class Observability:
         "_task_spans",
     )
 
-    def __init__(self, sim=None, enabled: bool = False, capacity: int = DEFAULT_CAPACITY):
+    def __init__(
+        self,
+        sim=None,
+        enabled: bool = False,
+        capacity: int = DEFAULT_CAPACITY,
+        window_ns: int = DEFAULT_WINDOW_NS,
+    ):
         self.sim = sim
         self.enabled = bool(enabled) and sim is not None
         self.metrics = MetricsRegistry()
+        self.timelines = TimelineRegistry(window_ns=window_ns)
         self.tracer: Optional[Tracer] = (
             Tracer(sim, capacity=capacity, enabled=self.enabled)
             if sim is not None
@@ -81,6 +90,11 @@ class Observability:
         #: keys stay deterministic).
         self._task_spans: Dict[Any, int] = {}
 
+    def set_span_namespace(self, base: int) -> None:
+        """Start span ids at ``base`` — DES shards carve disjoint id
+        ranges so per-world spans merge without collisions."""
+        self._next_span = base
+
     # -- metrics ------------------------------------------------------------
 
     def count(self, key: str, n: int = 1) -> None:
@@ -94,6 +108,29 @@ class Observability:
     def observe(self, key: str, value, bounds=None) -> None:
         if self.enabled:
             self.metrics.histogram(key, bounds).observe(value)
+
+    # -- timelines (windowed by simulated time) ------------------------------
+
+    def series_count(self, key: str, n: int = 1) -> None:
+        """Add to ``key``'s count in the current time window."""
+        if self.enabled:
+            self.timelines.windowed_counter(key).record_windowed_count(
+                self.sim.now, n
+            )
+
+    def series_gauge(self, key: str, value) -> None:
+        """Sample a level (queue depth, dirty bytes) into the window."""
+        if self.enabled:
+            self.timelines.windowed_gauge(key).record_windowed_gauge(
+                self.sim.now, value
+            )
+
+    def series_observe(self, key: str, value) -> None:
+        """Record a latency/size sample into the window's histogram."""
+        if self.enabled:
+            self.timelines.windowed_histogram(key).record_windowed_value(
+                self.sim.now, value
+            )
 
     # -- samples (time series; exported as Chrome counter events) -----------
 
@@ -232,6 +269,10 @@ class ScopedObservability:
         return self.root.metrics
 
     @property
+    def timelines(self) -> TimelineRegistry:
+        return self.root.timelines
+
+    @property
     def tracer(self) -> Optional[Tracer]:
         return self.root.tracer
 
@@ -245,6 +286,17 @@ class ScopedObservability:
 
     def observe(self, key: str, value, bounds=None) -> None:
         self.root.observe(self._scoped(key), value, bounds)
+
+    # -- timelines (key-prefixed) --------------------------------------------
+
+    def series_count(self, key: str, n: int = 1) -> None:
+        self.root.series_count(self._scoped(key), n)
+
+    def series_gauge(self, key: str, value) -> None:
+        self.root.series_gauge(self._scoped(key), value)
+
+    def series_observe(self, key: str, value) -> None:
+        self.root.series_observe(self._scoped(key), value)
 
     def sample(self, component: str, name: str, value) -> None:
         self.root.sample(component, self._scoped(name), value)
@@ -293,8 +345,13 @@ class ScopedObservability:
 class ObsSession:
     """Collects the observers of every TestBed built while active."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        window_ns: int = DEFAULT_WINDOW_NS,
+    ):
         self.capacity = capacity
+        self.window_ns = window_ns
         self.observabilities: List[Observability] = []
 
 
@@ -306,11 +363,13 @@ def active_session() -> Optional[ObsSession]:
 
 
 @contextmanager
-def observed(capacity: int = DEFAULT_CAPACITY):
+def observed(
+    capacity: int = DEFAULT_CAPACITY, window_ns: int = DEFAULT_WINDOW_NS
+):
     """Context manager: observe every TestBed built inside."""
     global _session
     previous = _session
-    _session = ObsSession(capacity)
+    _session = ObsSession(capacity, window_ns=window_ns)
     try:
         yield _session
     finally:
@@ -347,6 +406,7 @@ def attach_if_active(bed, observe: bool = False) -> Observability:
         bed.sim,
         enabled=True,
         capacity=session.capacity if session is not None else DEFAULT_CAPACITY,
+        window_ns=session.window_ns if session is not None else DEFAULT_WINDOW_NS,
     )
     attach(bed, obs)
     if session is not None:
@@ -392,6 +452,7 @@ def attach_topology_if_active(topology, observe: bool = False) -> Observability:
         topology.sim,
         enabled=True,
         capacity=session.capacity if session is not None else DEFAULT_CAPACITY,
+        window_ns=session.window_ns if session is not None else DEFAULT_WINDOW_NS,
     )
     attach_topology(topology, obs)
     if session is not None:

@@ -99,13 +99,53 @@ def span_descendants(spans: Dict[int, Span], root: int) -> List[Span]:
 # -- Chrome trace-event JSON --------------------------------------------------
 
 
+def _canonical_ids(spans: Dict[int, Span]) -> Dict[int, int]:
+    """Renumber spans 1..N by *content*, not by mint order.
+
+    Raw span ids depend on interleaving (serial runs mint from one
+    counter; sharded runs carve per-world id bases), so byte-identical
+    exports need ids derived from what each span *is*: its times,
+    component, name, attributes, and — recursively — its parent's key.
+    Two runs that simulate the same history therefore export the same
+    ids regardless of how the spans were numbered at record time.
+    """
+    keys: Dict[int, Tuple] = {}
+    # Iterative post-order: a span's key embeds its parent's key, so
+    # push unresolved ancestors first and fold back down.
+    for start_sid in spans:
+        stack = [start_sid]
+        while stack:
+            sid = stack[-1]
+            if sid in keys:
+                stack.pop()
+                continue
+            span = spans[sid]
+            if span.parent in spans and span.parent not in keys:
+                stack.append(span.parent)
+                continue
+            keys[sid] = (
+                span.start,
+                span.end if span.end is not None else span.start,
+                span.component,
+                span.name,
+                json.dumps(span.attrs, sort_keys=True, default=str),
+                keys.get(span.parent, ()),
+            )
+            stack.pop()
+    order = sorted(spans, key=lambda sid: keys[sid])
+    return {sid: i + 1 for i, sid in enumerate(order)}
+
+
 def chrome_trace(obs, process_name: str = "repro-nfs") -> Dict[str, Any]:
     """The whole observer as a Chrome trace-event JSON object.
 
-    One pid, one tid per component (assigned in first-seen order, which
-    is deterministic because the trace ring is).
+    One pid, one tid per component (assigned in first-seen order over
+    the canonical span ordering).  Span ids are canonically renumbered
+    (:func:`_canonical_ids`) and counter samples sorted, so a sharded
+    fleet exports the same bytes as its serial twin.
     """
     spans = build_spans(obs.tracer)
+    canonical = _canonical_ids(spans)
     tids: Dict[str, int] = {}
     events: List[Dict[str, Any]] = [
         {
@@ -133,10 +173,13 @@ def chrome_trace(obs, process_name: str = "repro-nfs") -> Dict[str, Any]:
             )
         return tid
 
-    for sid in sorted(spans):
+    for sid in sorted(spans, key=lambda s: canonical[s]):
         span = spans[sid]
         end = span.end if span.end is not None else span.start
-        args: Dict[str, Any] = {"span": span.sid, "parent": span.parent}
+        args: Dict[str, Any] = {
+            "span": canonical[sid],
+            "parent": canonical.get(span.parent, 0),
+        }
         args.update(span.attrs)
         events.append(
             {
@@ -150,7 +193,16 @@ def chrome_trace(obs, process_name: str = "repro-nfs") -> Dict[str, Any]:
                 "args": args,
             }
         )
-    for rec in obs.tracer.records(kind="sample"):
+    samples = sorted(
+        obs.tracer.records(kind="sample"),
+        key=lambda rec: (
+            rec.time,
+            rec.component,
+            rec.fields["name"],
+            repr(rec.fields["value"]),
+        ),
+    )
+    for rec in samples:
         events.append(
             {
                 "ph": "C",

@@ -1,0 +1,235 @@
+"""Dashboard rendering: timelines + SLO verdicts as ASCII or HTML.
+
+Pure string builders over a :class:`~repro.obs.timeseries.
+TimelineRegistry` snapshot and an ``slo-report@1`` dict — file I/O
+stays in the CLI/bundle layer.  The ASCII dashboard uses eight-level
+sparklines for every timeline, a percentile table per objective, and
+one verdict line per SLO; the HTML variant is a dependency-free
+standalone page with inline SVG timelines.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .timeseries import TimelineRegistry
+
+__all__ = ["sparkline", "render_ascii", "render_html"]
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Eight-level unicode sparkline, downsampled to ``width`` cells."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket-max downsampling keeps spikes visible.
+        cells = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            cells.append(max(values[lo:hi]))
+    else:
+        cells = list(values)
+    top = max(cells)
+    if top <= 0:
+        return _SPARKS[0] * len(cells)
+    out = []
+    for v in cells:
+        level = int(v / top * (len(_SPARKS) - 1) + 0.5)
+        out.append(_SPARKS[max(0, min(level, len(_SPARKS) - 1))])
+    return "".join(out)
+
+
+def _series_values(series: Any) -> Tuple[List[int], List[float]]:
+    """Dense ``(window starts, values)`` across the series' span."""
+    items = series.items()
+    if not items:
+        return [], []
+    first, last = items[0][0], items[-1][0]
+    by_window = dict(items)
+    starts: List[int] = []
+    values: List[float] = []
+    for wi in range(first, last + 1):
+        starts.append(wi * series.window_ns)
+        cell = by_window.get(wi)
+        if cell is None:
+            values.append(0.0)
+        elif series.kind == "windowed_counter":
+            values.append(float(cell))
+        elif series.kind == "windowed_gauge":
+            values.append(float(cell[1]))  # window maximum
+        else:
+            values.append(float(cell.percentile(99)))
+    return starts, values
+
+
+def _fmt(value: float) -> str:
+    if value >= 10_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1_000:.1f}k"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def _slo_lines(report: Dict[str, Any]) -> List[str]:
+    lines: List[str] = []
+    for row in report.get("slos", []):
+        spec = row["spec"]
+        attained = row["attained"]
+        attained_s = f"{attained:.4%}" if attained is not None else "n/a"
+        lines.append(
+            f"  [{row['verdict']:>8}] {spec['name']}: "
+            f"{spec['metric']} <= {_fmt(spec['threshold'])} "
+            f"target {spec['target']:.2%}, attained {attained_s} "
+            f"({row['good']}/{row['samples']})"
+        )
+        for alert in row.get("alerts", []):
+            lines.append(
+                f"             burn alert {alert[0] / 1e6:.0f}ms"
+                f" - {alert[1] / 1e6:.0f}ms"
+            )
+        for violation in row.get("violations", []):
+            attribution = violation.get("attribution")
+            signal = (
+                f" <- {attribution['signal']} (z={attribution['z']:+.1f})"
+                if attribution
+                else ""
+            )
+            lines.append(
+                f"             violated {violation['start_ns'] / 1e6:.0f}ms"
+                f" - {violation['end_ns'] / 1e6:.0f}ms"
+                f" (bad {violation['bad_fraction']:.1%}){signal}"
+            )
+    return lines
+
+
+def _percentile_rows(report: Dict[str, Any]) -> List[str]:
+    lines: List[str] = []
+    for row in report.get("slos", []):
+        windows = row.get("windows", [])
+        if not windows:
+            continue
+        lines.append(f"  {row['spec']['metric']} per window:")
+        lines.append(
+            "    window_ms      count        p50        p99      p99.9"
+        )
+        for w in windows:
+            lines.append(
+                f"    {w['start_ns'] / 1e6:>9.0f}  {w['count']:>9}"
+                f"  {_fmt(w['p50']):>9}  {_fmt(w['p99']):>9}"
+                f"  {_fmt(w['p99.9']):>9}"
+            )
+    return lines
+
+
+def render_ascii(
+    registry: TimelineRegistry, report: Optional[Dict[str, Any]] = None
+) -> str:
+    """The dashboard as terminal text."""
+    lines: List[str] = ["== timelines =="]
+    width = max([len(key) for key, _ in registry.items()] or [0])
+    for key, series in registry.items():
+        _starts, values = _series_values(series)
+        peak = max(values) if values else 0.0
+        lines.append(
+            f"  {key:<{width}}  {sparkline(values):<60}  peak {_fmt(peak)}"
+        )
+    if report is not None:
+        lines.append("")
+        lines.append("== slo verdicts ==")
+        lines.extend(_slo_lines(report))
+        knee = report.get("knee")
+        if knee:
+            lines.append(
+                f"  knee: p99 {_fmt(knee['p99'])} at "
+                f"{_fmt(knee['offered_bytes_per_window'])} bytes/window "
+                f"(t={knee['window_start_ns'] / 1e6:.0f}ms)"
+            )
+        lines.append("")
+        lines.append("== percentiles ==")
+        lines.extend(_percentile_rows(report))
+    return "\n".join(lines) + "\n"
+
+
+def _svg_polyline(values: Sequence[float], w: int = 600, h: int = 40) -> str:
+    if not values:
+        return ""
+    top = max(values) or 1.0
+    step = w / max(1, len(values) - 1) if len(values) > 1 else w
+    points = " ".join(
+        f"{i * step:.1f},{h - v / top * (h - 2):.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}">'
+        f'<polyline fill="none" stroke="#369" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+def render_html(
+    registry: TimelineRegistry,
+    report: Optional[Dict[str, Any]] = None,
+    title: str = "repro-nfs report",
+) -> str:
+    """The dashboard as a dependency-free standalone HTML page."""
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        "<style>body{font-family:monospace;margin:2em;}"
+        "table{border-collapse:collapse;}"
+        "td,th{padding:2px 10px;border:1px solid #ccc;text-align:right;}"
+        "td.k,th.k{text-align:left;}"
+        ".ok{color:#080;}.violated{color:#b00;}.no-data{color:#888;}"
+        "</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<h2>Timelines</h2><table>",
+        "<tr><th class='k'>series</th><th>shape</th><th>peak</th></tr>",
+    ]
+    for key, series in registry.items():
+        _starts, values = _series_values(series)
+        peak = max(values) if values else 0.0
+        parts.append(
+            f"<tr><td class='k'>{html.escape(key)}</td>"
+            f"<td>{_svg_polyline(values)}</td>"
+            f"<td>{_fmt(peak)}</td></tr>"
+        )
+    parts.append("</table>")
+    if report is not None:
+        parts.append("<h2>SLO verdicts</h2><table>")
+        parts.append(
+            "<tr><th class='k'>slo</th><th class='k'>objective</th>"
+            "<th>target</th><th>attained</th><th class='k'>verdict</th></tr>"
+        )
+        for row in report.get("slos", []):
+            spec = row["spec"]
+            attained = row["attained"]
+            attained_s = f"{attained:.4%}" if attained is not None else "n/a"
+            parts.append(
+                f"<tr><td class='k'>{html.escape(spec['name'])}</td>"
+                f"<td class='k'>{html.escape(spec['metric'])} &le; "
+                f"{_fmt(spec['threshold'])}</td>"
+                f"<td>{spec['target']:.2%}</td><td>{attained_s}</td>"
+                f"<td class='k {row['verdict']}'>{row['verdict']}</td></tr>"
+            )
+        parts.append("</table>")
+        knee = report.get("knee")
+        if knee:
+            parts.append(
+                f"<p>knee: p99 {_fmt(knee['p99'])} at "
+                f"{_fmt(knee['offered_bytes_per_window'])} bytes/window</p>"
+            )
+        parts.append(
+            "<details><summary>raw slo-report@1</summary><pre>"
+            + html.escape(json.dumps(report, indent=1, sort_keys=True))
+            + "</pre></details>"
+        )
+    parts.append("</body></html>")
+    return "\n".join(parts)

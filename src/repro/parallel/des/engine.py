@@ -45,8 +45,10 @@ __all__ = ["run_sharded_fleet", "ShardedFleetOutcome"]
 class InlineWorker:
     """Same-process worker: no pickling, for tests and debugging."""
 
-    def __init__(self, plan: ShardPlan, shard_id: int, faults: FleetFaults):
-        self.world = ClientShardWorld(plan, shard_id, faults)
+    def __init__(
+        self, plan: ShardPlan, shard_id: int, faults: FleetFaults, obs_config=None
+    ):
+        self.world = ClientShardWorld(plan, shard_id, faults, obs_config)
         self._reply: Optional[Dict[str, Any]] = None
 
     def send_window(self, end: int, messages) -> None:
@@ -63,14 +65,14 @@ class InlineWorker:
         pass
 
 
-def _worker_main(conn, plan, shard_id, faults, sanitize_config) -> None:
+def _worker_main(conn, plan, shard_id, faults, sanitize_config, obs_config) -> None:
     """Child-process loop: build the shard world, serve window commands."""
     from ...analysis.sanitize.runtime import sanitized
 
     guard = sanitized(sanitize_config) if sanitize_config is not None else nullcontext()
     try:
         with guard:
-            world = ClientShardWorld(plan, shard_id, faults)
+            world = ClientShardWorld(plan, shard_id, faults, obs_config)
             while True:
                 cmd = conn.recv()
                 if cmd[0] == "w":
@@ -97,12 +99,13 @@ class ProcessWorker:
         shard_id: int,
         faults: FleetFaults,
         sanitize_config,
+        obs_config=None,
     ):
         parent_conn, child_conn = multiprocessing.Pipe()
         self.shard_id = shard_id
         self.process = multiprocessing.Process(
             target=_worker_main,
-            args=(child_conn, plan, shard_id, faults, sanitize_config),
+            args=(child_conn, plan, shard_id, faults, sanitize_config, obs_config),
             daemon=True,
         )
         self.process.start()
@@ -157,6 +160,8 @@ class ShardedFleetOutcome:
     switch: Any
     schedules: List[Any] = field(default_factory=list)
     findings: List[Any] = field(default_factory=list)
+    #: The merged fleet-wide observer (None when run unobserved).
+    observability: Any = None
 
 
 class _ShippedFindings:
@@ -187,11 +192,10 @@ def run_sharded_fleet(
         raise ConfigError(f"unknown shard transport {transport!r}")
     from ...obs.core import active_session as obs_session
 
-    if obs_session() is not None:
-        raise ConfigError(
-            "sharded fleets do not support the observability layer yet; "
-            "run with shards=1 to trace"
-        )
+    obs_sess = obs_session()
+    obs_config = (
+        (obs_sess.capacity, obs_sess.window_ns) if obs_sess is not None else None
+    )
     plan = build_plan(spec, shards)
     faults = faults or FleetFaults()
     shard_faults, hub_faults = faults.split(plan)
@@ -199,15 +203,16 @@ def run_sharded_fleet(
     from ...analysis.sanitize.runtime import active_session
 
     session = active_session()
-    hub = HubWorld(plan, hub_faults)
+    hub = HubWorld(plan, hub_faults, obs_config)
     if transport == "inline":
         workers: List[Any] = [
-            InlineWorker(plan, s, shard_faults[s]) for s in range(plan.nshards)
+            InlineWorker(plan, s, shard_faults[s], obs_config)
+            for s in range(plan.nshards)
         ]
     else:
         config = session.config if session is not None else None
         workers = [
-            ProcessWorker(plan, s, shard_faults[s], config)
+            ProcessWorker(plan, s, shard_faults[s], config, obs_config)
             for s in range(plan.nshards)
         ]
     try:
@@ -277,6 +282,7 @@ def _drive(spec, plan, hub, workers, session, transport) -> ShardedFleetOutcome:
     rows: Dict[int, Dict[str, Any]] = {}
     errors: List[Any] = []
     findings: List[Any] = []
+    obs_payloads: List[Any] = []
     events = hub.sim.events_processed
     for worker in workers:
         final = worker.finalise()
@@ -284,10 +290,27 @@ def _drive(spec, plan, hub, workers, session, transport) -> ShardedFleetOutcome:
             rows[index] = row
         errors.extend(final["errors"])
         findings.extend(final["findings"])
+        obs_payloads.append(final.get("obs"))
         events += final["events"]
     if errors:
         errors.sort(key=lambda item: item[0])
         raise errors[0][1]
+    if hub.obs is not None:
+        # Fold every shard's telemetry into the hub observer in shard
+        # order: trace records append (exports renumber canonically),
+        # counters/histograms add, gauges join, timelines merge
+        # window-wise — the result is the serial run's telemetry.
+        for payload in obs_payloads:
+            if payload is None:
+                continue
+            hub.obs.tracer.absorb(payload["records"])
+            hub.obs.metrics.merge_state(payload["metrics"])
+            hub.obs.timelines.merge_snapshot(payload["timelines"])
+        from ...obs.core import active_session as obs_session
+
+        obs_sess = obs_session()
+        if obs_sess is not None:
+            obs_sess.observabilities.append(hub.obs)
     if session is not None and transport == "process":
         # Worker-side sanitizer findings were audited in the child;
         # graft them into the caller's ambient session so its grouped
@@ -304,4 +327,5 @@ def _drive(spec, plan, hub, workers, session, transport) -> ShardedFleetOutcome:
         switch=hub.switch,
         schedules=hub.schedules,
         findings=findings,
+        observability=hub.obs,
     )

@@ -26,15 +26,26 @@ from typing import Any, Dict, List, Optional, Tuple
 from ...config import NetConfig
 from ...net.link import Link
 from ...net.switch import Switch
+from ...obs.core import Observability, ScopedObservability
 from ...sim import Simulator
 from ...topology.build import ClientStack, materialise_server, _named_server_specs
 from ...topology.fleet import client_row, fleet_client_body, server_rows
 from .plan import FleetFaults, ShardPlan, client_names
 
-__all__ = ["BoundaryLink", "ClientShardWorld", "HubWorld"]
+__all__ = ["BoundaryLink", "ClientShardWorld", "HubWorld", "SPAN_NAMESPACE_STRIDE"]
 
 #: A captured boundary frame: (arrival time, sender-local seq, fragment).
 Message = Tuple[int, int, Any]
+
+#: Span-id range each world mints from: the hub starts at 0, client
+#: shard ``s`` at ``(s + 1) * STRIDE`` — disjoint for any realistic run,
+#: so per-world spans merge without collisions and exports renumber
+#: them canonically.
+SPAN_NAMESPACE_STRIDE = 1 << 48
+
+#: (ring capacity, timeline window_ns) shipped to each world when the
+#: parent has an active ``observed()`` session.
+ObsConfig = Optional[Tuple[int, int]]
 
 
 class BoundaryLink(Link):
@@ -92,7 +103,13 @@ def _drain_outboxes(links: List[BoundaryLink]) -> List[Message]:
 class ClientShardWorld:
     """One worker's simulation: a group of whole client stacks."""
 
-    def __init__(self, plan: ShardPlan, shard_id: int, faults: FleetFaults):
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shard_id: int,
+        faults: FleetFaults,
+        obs_config: ObsConfig = None,
+    ):
         spec = plan.spec
         self.plan = plan
         self.shard_id = shard_id
@@ -127,6 +144,27 @@ class ClientShardWorld:
 
         for stack in self.stacks:
             stack.sanitizer = attach_if_active(stack)
+        # Shard-side observability: this world records its own stacks
+        # and the client ends of the cut links; span ids mint from the
+        # shard's namespace so the parent can merge all worlds' rings.
+        self.obs: Optional[Observability] = None
+        if obs_config is not None:
+            capacity, window_ns = obs_config
+            obs = Observability(
+                self.sim, enabled=True, capacity=capacity, window_ns=window_ns
+            )
+            obs.set_span_namespace((shard_id + 1) * SPAN_NAMESPACE_STRIDE)
+            scoped = len(spec.clients) > 1
+            for stack in self.stacks:
+                stack.host.port.uplink.obs = obs
+                view = ScopedObservability(obs, stack.name) if scoped else obs
+                stack.obs = view
+                stack.syscalls.obs = view
+                stack.pagecache.obs = view
+                if stack.nfs is not None:
+                    stack.nfs.obs = view
+                    stack.nfs.xprt.obs = view
+            self.obs = obs
         faults.apply_links(self.switch)
         self.starvations = faults.apply_client_events(self.stacks)
         # Workload tasks spawn before the first window, as in serial.
@@ -179,13 +217,25 @@ class ClientShardWorld:
             "pending": [s.name for s, t in zip(self.stacks, self.tasks) if not t.done],
             "events": self.sim.events_processed,
             "findings": findings,
+            # Everything the parent needs to merge this world's
+            # telemetry: raw trace records (NamedTuples pickle fine),
+            # the metrics dump, and the timeline snapshot.
+            "obs": None
+            if self.obs is None
+            else {
+                "records": self.obs.tracer.records(),
+                "metrics": self.obs.metrics.dump_state(),
+                "timelines": self.obs.timelines.snapshot(),
+            },
         }
 
 
 class HubWorld:
     """The parent-side simulation: switch, servers, client stubs."""
 
-    def __init__(self, plan: ShardPlan, faults: FleetFaults):
+    def __init__(
+        self, plan: ShardPlan, faults: FleetFaults, obs_config: ObsConfig = None
+    ):
         spec = plan.spec
         self.plan = plan
         self.sim = Simulator()
@@ -218,6 +268,24 @@ class HubWorld:
         self.servers = [
             materialise_server(self.sim, self.switch, s) for s in self.server_specs
         ]
+        # Hub-side observability: the switch, every server, and the
+        # switch ends of the links — frame spans record where the send
+        # happens, so hub and shards partition them without overlap.
+        # The hub keeps the default span namespace (base 0).
+        self.obs: Optional[Observability] = None
+        if obs_config is not None:
+            capacity, window_ns = obs_config
+            obs = Observability(
+                self.sim, enabled=True, capacity=capacity, window_ns=window_ns
+            )
+            self.switch.obs = obs
+            for port in self.switch.ports():
+                port.uplink.obs = obs
+                port.downlink.obs = obs
+            for server in self.servers:
+                server.obs = obs
+                server.rpc.obs = obs
+            self.obs = obs
         faults.apply_links(self.switch)
         self.schedules = faults.apply_schedules(self.servers)
 

@@ -369,6 +369,7 @@ class UdpTransport:
         if obs.enabled:
             obs.span_end(send_span)
             obs.sample("rpc", "cwnd", self.cwnd)
+            obs.series_gauge("rpc/slots_in_flight", len(self.in_flight))
         self.send_times.append(self._sim.now)
         if req.first_sent_at is None:
             req.first_sent_at = self._sim.now
@@ -410,6 +411,7 @@ class UdpTransport:
         self.stats.retransmits += 1
         if obs.enabled:
             obs.count(f"rpc/retransmits/{req.call.proc}")
+            obs.series_count("rpc/retransmits")
         self._on_timeout_cwnd()
         self._retrans_queue.append(req)
         self._nudge_rpciod()
@@ -504,6 +506,8 @@ class UdpTransport:
         if req.timer is not None:
             req.timer.cancel()
             req.timer = None
+        if obs.enabled:
+            obs.series_gauge("rpc/slots_in_flight", len(self.in_flight))
         self._on_reply_cwnd()
         if (
             self.adaptive_timeo

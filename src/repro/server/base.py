@@ -105,6 +105,9 @@ class NfsServerBase:
         self.reads_handled = 0
         self.bytes_served = 0
         self.obs = DISABLED
+        #: Cached timeline keys (per-server, hub-owned in sharded runs).
+        self._ingest_series_key = f"server/{name}/ingest_bytes"
+        self._busy_series_key = f"server/{name}/ingest_busy_ns"
         self.rpc = RpcServer(self.host, NFS_PORT, self.handle, nthreads, name=name)
 
     # -- pause (checkpoints, fault injection) --------------------------------
@@ -181,7 +184,12 @@ class NfsServerBase:
         yield self._ingest_lock.acquire()
         try:
             yield from self._wait_unpaused()
-            yield self.sim.timeout(transfer_time(nbytes, self.ingest_bytes_per_sec))
+            busy_ns = transfer_time(nbytes, self.ingest_bytes_per_sec)
+            yield self.sim.timeout(busy_ns)
+            if self.obs.enabled:
+                # Per-window busy time: window_bytes/window_ns is the
+                # ingest-utilization timeline the SLO reports attribute to.
+                self.obs.series_count(self._busy_series_key, busy_ns)
         finally:
             self._ingest_lock.release()
 
@@ -218,6 +226,7 @@ class NfsServerBase:
         self.writes_handled += 1
         if self.obs.enabled:
             self.obs.count("server/bytes_received", args.count)
+            self.obs.series_count(self._ingest_series_key, args.count)
         file.change_id += 1
         end = args.offset + args.count
         if end > file.size:

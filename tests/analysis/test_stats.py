@@ -71,3 +71,33 @@ def test_percentile_monotone(values):
 def test_linear_slope_recovers_exact_lines(intercept, slope, n):
     ys = [intercept + slope * x for x in range(n)]
     assert linear_slope(ys) == pytest.approx(slope, abs=1e-6)
+
+
+def test_knee_point_finds_the_bend():
+    from repro.analysis.stats import knee_point
+
+    # Flat then steep: the bend sits at the regime change.
+    xs = [1, 2, 3, 4, 5, 6]
+    ys = [10, 10, 10, 10, 100, 200]
+    assert knee_point(xs, ys) == 3
+    # Degenerate inputs detect nothing.
+    assert knee_point([1, 2], [1, 2]) is None
+    assert knee_point([1, 1, 1], [1, 2, 3]) is None
+    assert knee_point([1, 2, 3], [5, 5, 5]) is None
+    with pytest.raises(ValueError, match="equal-length"):
+        knee_point([1, 2, 3], [1, 2])
+
+
+def test_percentile_of_sorted_methods_agree_on_edges():
+    from repro.analysis.stats import percentile_of_sorted
+
+    values = [1, 2, 3, 4]
+    assert percentile_of_sorted(values, 100, method="linear") == 4
+    assert percentile_of_sorted(values, 100, method="nearest-rank") == 4
+    assert percentile_of_sorted(values, 0, method="linear") == 1
+    assert percentile_of_sorted([], 50, method="linear") == 0.0
+    assert percentile_of_sorted([], 50, method="nearest-rank") == 0
+    with pytest.raises(ValueError):
+        percentile_of_sorted(values, 0, method="nearest-rank")
+    with pytest.raises(ValueError):
+        percentile_of_sorted(values, 50, method="bogus")

@@ -69,7 +69,53 @@ def test_write_bundle_multi_bed_suffixes(tmp_path):
         "trace-0.json",
         "metrics-0.prom",
         "profile-0.txt",
+        "timeline-0.json",
+        "slo-0.json",
     ]
+
+
+def test_write_bundle_refuses_overwrite_without_force(tmp_path):
+    from repro.errors import ConfigError
+
+    observabilities, _, _ = run_traced("fig1")
+    write_bundle(observabilities[0], str(tmp_path), "fig1")
+    with pytest.raises(ConfigError, match="refusing to overwrite"):
+        write_bundle(observabilities[0], str(tmp_path), "fig1")
+    # --force replaces the bundle in place.
+    paths = write_bundle(observabilities[0], str(tmp_path), "fig1", force=True)
+    assert all(os.path.exists(p) for p in paths)
+
+
+def test_trace_cli_overwrite_refusal_and_force(tmp_path):
+    out_dir = str(tmp_path / "bundle")
+    assert main(["trace", "fig1", "--out", out_dir]) == 0
+    assert main(["trace", "fig1", "--out", out_dir]) == 1
+    assert main(["trace", "fig1", "--out", out_dir, "--force"]) == 0
+
+
+def test_report_cli_from_bundle_dir(tmp_path, capsys):
+    out_dir = str(tmp_path / "bundle")
+    assert main(["trace", "fleet", "--out", out_dir]) == 0
+    capsys.readouterr()
+    assert main(["report", out_dir]) == 0
+    text = capsys.readouterr().out
+    assert "== timelines ==" in text
+    assert "== slo verdicts ==" in text
+    assert "== percentiles ==" in text
+    assert "write-latency" in text
+
+
+def test_report_cli_html_and_live_run(tmp_path):
+    html_path = str(tmp_path / "dash.html")
+    assert main(["report", "fleet", "--html", html_path]) == 0
+    text = open(html_path).read()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "SLO verdicts" in text and "polyline" in text
+
+
+def test_report_cli_rejects_empty_dir(tmp_path, capsys):
+    assert main(["report", str(tmp_path)]) == 1
+    assert "no timeline" in capsys.readouterr().out
 
 
 def test_every_trace_point_names_a_real_experiment():

@@ -1,0 +1,64 @@
+"""Dashboard rendering: sparklines, ASCII and HTML builders."""
+
+from repro.obs.report import render_ascii, render_html, sparkline
+from repro.obs.slo import SloSpec, evaluate_slos
+from repro.obs.timeseries import TimelineRegistry
+
+MS = 1_000_000
+
+
+def test_sparkline_levels_and_width():
+    assert sparkline([]) == ""
+    assert sparkline([0, 0, 0]) == "▁▁▁"
+    line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+    assert len(line) == 8
+    assert line[-1] == "█"
+    assert list(line) == sorted(line)  # monotone input, monotone levels
+    # Downsampling to width keeps the peak visible (bucket-max).
+    wide = sparkline(list(range(1000)) + [10_000], width=60)
+    assert len(wide) == 60
+    assert wide[-1] == "█"
+
+
+def _registry_and_report():
+    registry = TimelineRegistry(window_ns=10 * MS)
+    lat = registry.windowed_histogram("client0/syscall/write_latency_us")
+    queue = registry.windowed_gauge("net/client0-up/queue_ns")
+    for wi in range(6):
+        now = wi * 10 * MS
+        lat.record_windowed_value(now, 5000 if wi == 4 else 40)
+        queue.record_windowed_gauge(now, wi * 100)
+    spec = SloSpec(
+        name="writes", metric="syscall/write_latency_us",
+        threshold=100.0, target=0.9,
+    )
+    return registry, evaluate_slos(registry, [spec])
+
+
+def test_render_ascii_sections():
+    registry, report = _registry_and_report()
+    text = render_ascii(registry, report)
+    assert "== timelines ==" in text
+    assert "client0/syscall/write_latency_us" in text
+    assert "net/client0-up/queue_ns" in text
+    assert "== slo verdicts ==" in text
+    assert "writes" in text
+    assert "== percentiles ==" in text
+    assert "p99.9" in text
+
+
+def test_render_ascii_without_report():
+    registry, _ = _registry_and_report()
+    text = render_ascii(registry)
+    assert "== timelines ==" in text
+    assert "slo verdicts" not in text
+
+
+def test_render_html_standalone_page():
+    registry, report = _registry_and_report()
+    page = render_html(registry, report, title="unit<test>")
+    assert page.startswith("<!DOCTYPE html>")
+    assert "unit&lt;test&gt;" in page  # titles are escaped
+    assert "<polyline" in page
+    assert "SLO verdicts" in page
+    assert page.count("<svg") == len(registry.items())

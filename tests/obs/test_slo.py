@@ -1,0 +1,132 @@
+"""The SLO engine: specs, verdicts, burn rates, knees, attribution."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO_REPORT_SCHEMA,
+    SloSpec,
+    evaluate_slos,
+)
+from repro.obs.timeseries import TimelineRegistry
+
+MS = 1_000_000
+
+
+def test_slospec_round_trip():
+    spec = SloSpec(
+        name="x",
+        metric="syscall/write_latency_us",
+        threshold=100.0,
+        target=0.9,
+        burn_windows_ns=(20 * MS, 40 * MS),
+        burn_factor=2.0,
+    )
+    assert SloSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_slospec_rejects_unknown_keys():
+    with pytest.raises(ConfigError, match="unknown key"):
+        SloSpec.from_dict({"name": "x", "metric": "m", "threshold": 1, "oops": 2})
+
+
+def _overload_registry():
+    """Six healthy 10 ms windows, then two overloaded ones.
+
+    Latency jumps 50 us -> 1000 us in windows 6-7 while the RPC slot
+    gauge rises with it (the attribution signal) and offered load grows
+    monotonically (the knee input).
+    """
+    registry = TimelineRegistry(window_ns=10 * MS)
+    lat = registry.windowed_histogram("client0/syscall/write_latency_us")
+    offered = registry.windowed_counter("client0/syscall/write_bytes")
+    ingest = registry.windowed_counter("server/s/ingest_bytes")
+    slots = registry.windowed_gauge("client0/rpc/slots_in_flight")
+    for wi in range(8):
+        now = wi * 10 * MS
+        value = 1000 if wi >= 6 else 50
+        for _ in range(10):
+            lat.record_windowed_value(now, value)
+        offered.record_windowed_count(now, n=(wi + 1) * 1000)
+        ingest.record_windowed_count(now, n=(wi + 1) * 900)
+        slots.record_windowed_gauge(now, 15 if wi >= 6 else 2)
+    return registry
+
+
+SPEC = SloSpec(
+    name="write-lat",
+    metric="syscall/write_latency_us",
+    threshold=100.0,
+    target=0.8,
+    burn_windows_ns=(20 * MS, 40 * MS),
+)
+
+
+def test_violated_slo_with_attribution_and_alerts():
+    report = evaluate_slos(_overload_registry(), [SPEC])
+    assert report["schema"] == SLO_REPORT_SCHEMA
+    (row,) = report["slos"]
+    assert row["samples"] == 80 and row["good"] == 60
+    assert row["attained"] == pytest.approx(0.75)
+    assert row["verdict"] == "violated"
+    # Per-window percentiles cover every populated window.
+    assert len(row["windows"]) == 8
+    assert all({"p50", "p99", "p99.9"} <= set(w) for w in row["windows"])
+    # One contiguous violation span over windows 6-7, attributed to the
+    # concurrent RPC slot spike.
+    (violation,) = row["violations"]
+    assert violation["start_ns"] == 6 * 10 * MS
+    assert violation["end_ns"] == 8 * 10 * MS
+    assert violation["attribution"]["signal"] == "client0/rpc/slots_in_flight"
+    assert violation["attribution"]["z"] > 0
+    # Both burn windows exceed the budget over 6-7, so they alert.
+    assert len(row["burn"]) == 2
+    assert row["alerts"] == [[6 * 10 * MS, 8 * 10 * MS]]
+
+
+def test_ok_verdict_when_target_met():
+    easy = SloSpec(
+        name="easy", metric="syscall/write_latency_us",
+        threshold=100.0, target=0.7,
+    )
+    report = evaluate_slos(_overload_registry(), [easy])
+    (row,) = report["slos"]
+    assert row["verdict"] == "ok"
+    assert row["attained"] >= 0.7
+
+
+def test_knee_and_load_curves():
+    report = evaluate_slos(_overload_registry(), [SPEC])
+    knee = report["knee"]
+    assert knee is not None
+    # The latency curve bends where overload sets in (window 6+).
+    assert knee["window_start_ns"] >= 5 * 10 * MS
+    assert knee["p99"] >= 50
+    offered = report["load"]["offered_bytes"]
+    goodput = report["load"]["goodput_bytes"]
+    assert len(offered) == 8 and len(goodput) == 8
+    assert all(g[1] <= o[1] for o, g in zip(offered, goodput))
+    assert set(report["timelines"]) == {
+        "client0/syscall/write_latency_us",
+        "client0/syscall/write_bytes",
+        "server/s/ingest_bytes",
+        "client0/rpc/slots_in_flight",
+    }
+
+
+def test_no_data_verdict():
+    report = evaluate_slos(
+        TimelineRegistry(window_ns=10 * MS),
+        [SloSpec(name="x", metric="missing/metric", threshold=1.0)],
+    )
+    (row,) = report["slos"]
+    assert row["verdict"] == "no-data"
+    assert row["attained"] is None
+    assert report["knee"] is None
+
+
+def test_default_slos_shape():
+    assert len(DEFAULT_SLOS) == 1
+    assert DEFAULT_SLOS[0].metric == "syscall/write_latency_us"
+    assert 0 < DEFAULT_SLOS[0].target < 1

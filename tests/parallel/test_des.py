@@ -191,13 +191,66 @@ def test_sharded_run_exposes_live_hub_servers():
     assert names <= {f.name for f in server.files.values()}
 
 
-def test_sharded_rejects_observability():
+def _observed_serial(spec):
     from repro.obs.core import observed
 
-    spec = FleetJobSpec.homogeneous(2, file_bytes=SMALL)
-    with observed():
-        with pytest.raises(ConfigError):
-            run_sharded_fleet(spec, shards=2, transport="inline")
+    with observed() as session:
+        point = serial_point(spec)
+    assert session.observabilities, "serial observer did not attach"
+    return point, session.observabilities[0]
+
+
+def _observed_sharded(spec, shards, transport):
+    from repro.obs.core import observed
+
+    with observed() as session:
+        outcome = run_sharded_fleet(spec, shards=shards, transport=transport)
+    assert outcome.observability is not None
+    assert outcome.observability in session.observabilities
+    return outcome.point, outcome.observability
+
+
+def _export_bundle(obs):
+    """The byte-level view of one observer: trace, metrics, timelines."""
+    import json
+
+    from repro.obs.export import chrome_trace, prometheus_text
+    from repro.obs.slo import evaluate_slos
+
+    trace = json.dumps(chrome_trace(obs), sort_keys=True)
+    prom = prometheus_text(obs.metrics)
+    timeline = json.dumps(obs.timelines.snapshot(), sort_keys=True)
+    slo = json.dumps(evaluate_slos(obs.timelines), sort_keys=True)
+    return trace, prom, timeline, slo
+
+
+@pytest.mark.parametrize(
+    "shards,transport", [(2, "inline"), (3, "inline"), (2, "process")]
+)
+def test_observed_sharded_exports_byte_identical(shards, transport):
+    spec = FleetJobSpec.homogeneous(4, target="netapp", file_bytes=SMALL)
+    serial, serial_obs = _observed_serial(spec)
+    sharded, sharded_obs = _observed_sharded(spec, shards, transport)
+    assert sharded.run_fingerprint() == serial.run_fingerprint()
+    serial_bundle = _export_bundle(serial_obs)
+    sharded_bundle = _export_bundle(sharded_obs)
+    for name, a, b in zip(
+        ("chrome-trace", "prometheus", "timeline", "slo-report"),
+        serial_bundle,
+        sharded_bundle,
+    ):
+        assert a == b, f"{name} export differs serial vs {shards} shards"
+
+
+def test_observed_sharded_matches_unobserved_fingerprint():
+    # Telemetry-on must equal telemetry-off in both engines: the
+    # pure-observer replay proof for the sharded path.
+    spec = FleetJobSpec.homogeneous(3, target="netapp", file_bytes=SMALL)
+    bare = run_sharded_fleet(spec, shards=2, transport="inline")
+    assert bare.observability is None
+    observed_point, _ = _observed_sharded(spec, 2, "inline")
+    assert observed_point.run_fingerprint() == bare.point.run_fingerprint()
+    assert observed_point.run_fingerprint() == serial_point(spec).run_fingerprint()
 
 
 def test_sharded_propagates_time_limit_wedge():
