@@ -4,17 +4,25 @@
 The paper's introduction motivates NFS client performance with
 "complex corporate applications such as database and mail services" —
 workloads that require data permanence *before* the write returns
-(§3.6).  This example drives a transaction log over NFS: each commit
-appends a few KB and fsync()s.  Against the filer, NVRAM makes the
-COMMIT-free FILE_SYNC path fast; against the Linux server each fsync
-turns into WRITE+COMMIT and a real disk write.
+(§3.6).  This example drives the registered ``database-fsync``
+workload over NFS: each commit appends a few KB and fsync()s.  Against
+the filer, NVRAM makes the COMMIT-free FILE_SYNC path fast; against
+the Linux server each fsync turns into WRITE+COMMIT and a real disk
+write.
+
+The workload body itself lives in the registry
+(``repro.bench.workloads.DatabaseFsyncWorkload``) so fleets, chaos
+scenarios, and open-loop arrival mixes run the exact same generator;
+this file is a thin wrapper that runs it on a single bed and prints
+the paper's comparison.
 
 Run:  python examples/database_fsync.py
 """
 
 from repro import TestBed
-from repro.bench import LatencyTrace
-from repro.units import MB, to_us
+from repro.bench import get_workload
+from repro.bench.workloads import client_workload_body, run_workload
+from repro.units import to_us
 
 TRANSACTIONS = 400
 RECORD_BYTES = 4096
@@ -22,22 +30,15 @@ RECORD_BYTES = 4096
 
 def run_transaction_log(target: str):
     bed = TestBed(target=target, client="enhanced")
-    commit_latency = LatencyTrace()
-
-    def workload():
-        file = yield from bed.open_file("txlog")
-        for _tx in range(TRANSACTIONS):
-            yield from bed.syscalls.write(file, RECORD_BYTES)
-            start = bed.sim.now
-            yield from bed.syscalls.fsync(file)
-            commit_latency.record(start, bed.sim.now)
-        yield from bed.syscalls.close(file)
-
-    task = bed.sim.spawn(workload())
-    bed.sim.run_until(lambda: task.done)
-    if task.error:
-        raise task.error
-    return bed, commit_latency
+    workload = get_workload(
+        "database-fsync",
+        {"transactions": TRANSACTIONS, "record_bytes": RECORD_BYTES},
+    )
+    tasks = run_workload(
+        bed, [("txlog", client_workload_body(bed, workload))]
+    )
+    _start, _end, outcome = tasks[0].result
+    return bed, outcome
 
 
 def main() -> None:
@@ -45,11 +46,12 @@ def main() -> None:
           f"fsync() after every commit\n")
     results = {}
     for target in ("netapp", "linux", "local"):
-        bed, commits = run_transaction_log(target)
+        bed, outcome = run_transaction_log(target)
         total_s = bed.sim.now / 1e9
-        tps = TRANSACTIONS / total_s
+        tps = outcome.ops / total_s
         results[target] = tps
-        commits_sent = bed.nfs.stats.commits_sent if bed.nfs else "-"
+        commits = outcome.trace
+        commits_sent = outcome.extra.get("commits_sent", 0)
         print(f"{target:8s} {tps:8.0f} tx/s   "
               f"commit latency mean {to_us(commits.mean_ns()):7.1f} us  "
               f"p-max {to_us(commits.max_ns()):8.1f} us   "

@@ -8,12 +8,16 @@ file and must fsync before acknowledging the SMTP transaction.  This
 example delivers a batch of messages over NFS and reports deliveries
 per second — another angle on the §3.6 data-permanence story.
 
+The delivery agents live in the registry
+(``repro.bench.workloads.MailSpoolWorkload``); this file is a thin
+wrapper that runs the registered workload on a single bed per target.
+
 Run:  python examples/mail_spool.py
 """
 
 from repro import TestBed
-from repro.sim import RngStreams
-from repro.units import KIB
+from repro.bench import get_workload
+from repro.bench.workloads import client_workload_body, run_workload
 
 MESSAGES = 150
 CONCURRENCY = 4  # delivery agents
@@ -21,35 +25,15 @@ CONCURRENCY = 4  # delivery agents
 
 def deliver_batch(target: str):
     bed = TestBed(target=target, client="enhanced")
-    rng = RngStreams(seed=2).stream("mail-sizes")
-    sizes = [rng.randrange(2 * KIB, 64 * KIB) for _ in range(MESSAGES)]
-    delivered = []
-    queue = list(enumerate(sizes))
-
-    def agent(agent_id):
-        while queue:
-            msg_id, size = queue.pop(0)
-            file = yield from bed.open_file(f"spool/msg{msg_id}")
-            remaining = size
-            while remaining > 0:
-                chunk = min(8192, remaining)
-                yield from bed.syscalls.write(file, chunk)
-                remaining -= chunk
-            yield from bed.syscalls.fsync(file)  # SMTP must not lie
-            yield from bed.syscalls.close(file)
-            delivered.append(msg_id)
-
-    start = bed.sim.now
-    tasks = [
-        bed.sim.spawn(agent(i), name=f"agent{i}", daemon=True)
-        for i in range(CONCURRENCY)
-    ]
-    bed.sim.run_until(lambda: all(t.done for t in tasks))
-    for t in tasks:
-        if t.error:
-            raise t.error
-    elapsed_s = (bed.sim.now - start) / 1e9
-    return len(delivered) / elapsed_s, sum(sizes) / elapsed_s / 1e6
+    workload = get_workload(
+        "mail-spool", {"messages": MESSAGES, "concurrency": CONCURRENCY}
+    )
+    tasks = run_workload(
+        bed, [("spool", client_workload_body(bed, workload))]
+    )
+    start, end, outcome = tasks[0].result
+    elapsed_s = (end - start) / 1e9
+    return outcome.ops / elapsed_s, outcome.bytes_written / elapsed_s / 1e6
 
 
 def main() -> None:

@@ -7,10 +7,17 @@ latencies more directly."  This example quantifies that: cached reads
 run at memory speed regardless of the server, cold reads ride the
 read-ahead pipeline, while writes always face the wire sooner or later.
 
+The four-phase measurement lives in the registry
+(``repro.bench.workloads.ReadVsWriteWorkload``); this file is a thin
+wrapper that runs the registered workload per target and tabulates the
+throughputs it reports.
+
 Run:  python examples/read_vs_write.py
 """
 
 from repro import TestBed
+from repro.bench import get_workload
+from repro.bench.workloads import client_workload_body, run_workload
 from repro.config import NfsClientConfig
 from repro.units import MB
 
@@ -21,42 +28,12 @@ LAZY = NfsClientConfig(eager_flush_limits=False, hashtable_index=True,
 
 def measure(target: str):
     bed = TestBed(target=target, client=LAZY)
-    out = {}
-
-    def body():
-        file = yield from bed.nfs.open_new("f")
-        # Write phase.
-        start = bed.sim.now
-        remaining = FILE_MB * MB
-        while remaining:
-            chunk = min(8192, remaining)
-            yield from bed.syscalls.write(file, chunk)
-            remaining -= chunk
-        out["write"] = FILE_MB * MB / ((bed.sim.now - start) / 1e9)
-        yield from bed.syscalls.fsync(file)
-        out["flush"] = FILE_MB * MB / ((bed.sim.now - start) / 1e9)
-
-        # Warm read: everything still in the client page cache.
-        file.pos = 0
-        start = bed.sim.now
-        while (yield from bed.syscalls.read(file, 8192)):
-            pass
-        out["warm read"] = FILE_MB * MB / ((bed.sim.now - start) / 1e9)
-
-        # Cold read: evict, fetch over the wire with read-ahead.
-        file.cached_pages.clear()
-        file.pos = 0
-        start = bed.sim.now
-        while (yield from bed.syscalls.read(file, 8192)):
-            pass
-        out["cold read"] = FILE_MB * MB / ((bed.sim.now - start) / 1e9)
-        out["read rpcs"] = bed.nfs.stats.reads_sent
-
-    task = bed.sim.spawn(body(), daemon=True)
-    bed.sim.run_until(lambda: task.done)
-    if task.error:
-        raise task.error
-    return out
+    workload = get_workload("read-vs-write", {"file_bytes": FILE_MB * MB})
+    tasks = run_workload(
+        bed, [("read-vs-write", client_workload_body(bed, workload))]
+    )
+    _start, _end, outcome = tasks[0].result
+    return outcome.extra
 
 
 def main() -> None:
@@ -65,8 +42,9 @@ def main() -> None:
     for target in ("netapp", "linux", "linux-100"):
         out = measure(target)
         print(f"{target:12s} "
-              f"{out['write'] / 1e6:8.1f}M {out['flush'] / 1e6:8.1f}M "
-              f"{out['warm read'] / 1e6:8.1f}M {out['cold read'] / 1e6:8.1f}M")
+              f"{out['write_bps'] / 1e6:8.1f}M {out['flush_bps'] / 1e6:8.1f}M "
+              f"{out['warm_read_bps'] / 1e6:8.1f}M "
+              f"{out['cold_read_bps'] / 1e6:8.1f}M")
     print("\nWarm reads never touch the wire (identical on every server);"
           "\ncold reads ride read-ahead at near wire speed; writes and"
           "\nespecially flushes expose the server's real throughput —"

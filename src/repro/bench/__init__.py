@@ -9,6 +9,14 @@ from .histogram import (
 )
 from .latency import LatencyTrace
 from .runner import SERVER_KINDS, TestBed
+from .workloads import (
+    Workload,
+    WorkloadOutcome,
+    WorkloadResult,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 
 __all__ = [
     "BenchmarkResult",
@@ -20,4 +28,10 @@ __all__ = [
     "PAPER_MAX_NS",
     "TestBed",
     "SERVER_KINDS",
+    "Workload",
+    "WorkloadOutcome",
+    "WorkloadResult",
+    "register_workload",
+    "get_workload",
+    "workload_names",
 ]

@@ -143,9 +143,13 @@ class TestBed:
         time_limit_ns: Optional[int] = None,
     ) -> BenchmarkResult:
         """Build, run and harvest one full benchmark run (blocking)."""
-        return self.topology.run_sequential_write(
-            file_bytes,
-            chunk_bytes=chunk_bytes,
-            do_fsync=do_fsync,
+        return self.topology.run_workload(
+            "sequential-write",
+            {
+                "file_bytes": file_bytes,
+                "chunk_bytes": chunk_bytes,
+                "do_fsync": do_fsync,
+                "file_name": "testfile",
+            },
             time_limit_ns=time_limit_ns,
         )

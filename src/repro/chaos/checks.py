@@ -48,6 +48,10 @@ class CheckContext:
 
     @property
     def file_bytes(self) -> int:
+        if self.spec.workload is None:
+            raise ConfigError(
+                "this check needs a workload block with file_bytes"
+            )
         return self.spec.workload.file_bytes
 
 
@@ -290,6 +294,40 @@ def _fleet_fair_share(ctx, params):
             f"Jain {fairness:.4f} < {minimum} for identical clients",
         )
     ]
+
+
+@_check("open-loop-complete")
+def _open_loop_complete(ctx, params):
+    """Every planned open-loop session completed, and nothing a server
+    ingested was left unstable — the overload-safe completeness bar for
+    arrivals scenarios, where per-session sizes vary by design."""
+    if ctx.point is None:
+        raise ConfigError("open-loop-complete needs a reduced fleet point")
+    planned = completed = 0
+    for row in ctx.point.clients:
+        planned += row.get("extra", {}).get("sessions", 0)
+        completed += row.get("ops", 0)
+    rows = [
+        Invariant(
+            "open-loop-complete",
+            planned > 0 and completed == planned,
+            f"{completed}/{planned} sessions completed",
+        )
+    ]
+    for server in _fleet_servers(ctx):
+        laggards = sorted(
+            f.name
+            for f in server.files.values()
+            if f.stable_bytes < f.size
+        )
+        rows.append(
+            Invariant(
+                f"open-loop-durable[{server.name}]",
+                not laggards,
+                f"unstable files: {laggards}",
+            )
+        )
+    return rows
 
 
 @_check("within-ingest-envelope")

@@ -259,22 +259,31 @@ def _execute_single(spec: ScenarioSpec, seed: int):
 # -- fleet execution -----------------------------------------------------------
 
 
-def _fleet_job(spec: ScenarioSpec):
+def _fleet_job(spec: ScenarioSpec, seed: int):
     from ..topology import ClientSpec, ServerSpec
     from ..topology.fleet import FleetJobSpec
+    from ..units import seconds
 
     wl = spec.workload
     client = ClientSpec(
         client=spec.bed.client, net=_net(spec), mount=_mount(spec)
     )
+    workload = None
+    if wl is not None and wl.name is not None and spec.arrivals is None:
+        workload = (wl.name, wl.params)
     return FleetJobSpec(
         clients=client.replicate(spec.bed.clients),
         servers=(ServerSpec(kind=spec.bed.target),),
-        file_bytes=wl.file_bytes,
-        chunk_bytes=wl.chunk_bytes,
-        do_fsync=wl.do_fsync,
+        file_bytes=(wl.file_bytes if wl is not None and wl.file_bytes else 1 << 20),
+        chunk_bytes=wl.chunk_bytes if wl is not None else 8192,
+        do_fsync=wl.do_fsync if wl is not None else True,
         stagger_ns=spec.bed.stagger_ns,
-        time_limit_ns=wl.time_limit_ns,
+        time_limit_ns=(
+            wl.time_limit_ns if wl is not None else seconds(600)
+        ),
+        workload=workload,
+        arrivals=spec.arrivals,
+        seed=seed,
     )
 
 
@@ -330,9 +339,9 @@ def _execute_fleet(spec: ScenarioSpec, seed: int):
 
     if spec.probes:
         raise ConfigError("stability-snapshot probes are single-client only")
-    if spec.workload.expect == "eio":
+    if spec.workload is not None and spec.workload.expect == "eio":
         raise ConfigError("eio expectation is single-client only")
-    job = _fleet_job(spec)
+    job = _fleet_job(spec, seed)
     faults, built = _fleet_faults(spec, seed, job)
     topo = Topology(clients=job.clients, servers=job.servers, switch=job.switch)
     schedules = faults.apply_serial(topo)
@@ -342,6 +351,9 @@ def _execute_fleet(spec: ScenarioSpec, seed: int):
         chunk_bytes=job.chunk_bytes,
         do_fsync=job.do_fsync,
         stagger_ns=job.stagger_ns,
+        workload=job.workload,
+        arrivals=job.arrivals,
+        seed=job.seed,
     )
     fleet = workload.run(time_limit_ns=job.time_limit_ns)
     point = reduce_fleet(fleet)
@@ -374,6 +386,8 @@ def _execute_sweep(spec: ScenarioSpec, seed: int):
         raise ConfigError("loss-rate sweeps take no fault schedule")
     if spec.bed.clients != 1:
         raise ConfigError("loss-rate sweeps are single-client only")
+    if spec.workload is not None and spec.workload.name is not None:
+        raise ConfigError("loss-rate sweeps drive the sequential writer only")
     wl = spec.workload
     rates = spec.sweep_loss_rates
     payload: Dict[str, Any] = {"loss_rates": list(rates)}
@@ -455,7 +469,14 @@ def _execute(spec: ScenarioSpec, seed: int):
             payload, ctx = _execute_experiment(spec, seed)
         elif spec.sweep_loss_rates:
             payload, ctx = _execute_sweep(spec, seed)
-        elif spec.bed.clients > 1:
+        elif (
+            spec.bed.clients > 1
+            or spec.arrivals is not None
+            or (spec.workload is not None and spec.workload.name is not None)
+        ):
+            # Fleets, open-loop arrivals, and registry-named workloads
+            # all run through the topology path (a one-client fleet is
+            # just a fleet of one).
             payload, ctx = _execute_fleet(spec, seed)
         else:
             payload, ctx = _execute_single(spec, seed)

@@ -324,7 +324,6 @@ SCENARIO_SCHEMA = {
         },
         "workload": {
             "type": "object",
-            "required": ["file_bytes"],
             "additionalProperties": False,
             "properties": {
                 "file_bytes": _POS,
@@ -332,6 +331,57 @@ SCENARIO_SCHEMA = {
                 "do_fsync": {"type": "boolean"},
                 "time_limit_ns": _POS,
                 "expect": {"type": "string", "enum": ["complete", "eio"]},
+                "name": {"type": "string"},
+                "params": {"type": "object"},
+            },
+        },
+        "arrivals": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "process": {"type": "string", "enum": ["poisson", "mmpp"]},
+                "rate_per_s": {"type": "number", "exclusiveMinimum": 0},
+                "duration_ns": _POS,
+                "sizes": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": {
+                        "dist": {
+                            "type": "string",
+                            "enum": ["fixed", "lognormal", "pareto"],
+                        },
+                        "bytes": _POS,
+                        "sigma": {"type": "number", "exclusiveMinimum": 0},
+                        "alpha": {"type": "number", "exclusiveMinimum": 0},
+                        "min_bytes": _POS,
+                        "max_bytes": _POS,
+                    },
+                },
+                "mix": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["workload"],
+                        "additionalProperties": False,
+                        "properties": {
+                            "workload": {"type": "string"},
+                            "weight": {
+                                "type": "number",
+                                "exclusiveMinimum": 0,
+                            },
+                            "params": {"type": "object"},
+                        },
+                    },
+                },
+                "diurnal": {
+                    "type": "array",
+                    "items": {"type": "number", "minimum": 0},
+                },
+                "burst_rate_per_s": {"type": "number", "minimum": 0},
+                "mean_burst_ns": _POS,
+                "mean_idle_ns": _POS,
+                "max_sessions": _POS,
             },
         },
         "faults": {

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
 from ..obs.slo import SloSpec
+from ..traffic.spec import ArrivalSpec
 from ..units import seconds
 from .schema import (
     SCENARIO_SCHEMA,
@@ -302,24 +303,41 @@ class BedSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """The sequential-write benchmark parameters."""
+    """What each client runs: the sequential writer, or any registered
+    workload by ``name`` + ``params`` (the PR 10 Workload registry)."""
 
-    file_bytes: int
+    file_bytes: int = 0
     chunk_bytes: int = 8192
     do_fsync: bool = True
     time_limit_ns: int = seconds(600)
     #: "complete" — the run must finish durably; "eio" — the workload is
     #: expected to fail with EIO (soft-mount scenarios).
     expect: str = "complete"
+    #: Registered workload name; ``None`` keeps the classic sequential
+    #: writer described by the fields above.
+    name: Optional[str] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.file_bytes <= 0:
+        if self.name is None and self.file_bytes <= 0:
             raise ConfigError("file_bytes must be positive")
+        if self.name is not None and not self.name:
+            raise ConfigError("workload name must be non-empty")
         if self.expect not in ("complete", "eio"):
             raise ConfigError(f"unknown workload expectation {self.expect!r}")
+        if not isinstance(self.params, tuple):
+            object.__setattr__(
+                self, "params", tuple(sorted(dict(self.params).items()))
+            )
 
     def to_dict(self) -> Dict[str, Any]:
-        out: Dict[str, Any] = {"file_bytes": self.file_bytes}
+        out: Dict[str, Any] = {}
+        if self.name is not None:
+            out["name"] = self.name
+            if self.params:
+                out["params"] = dict(self.params)
+        if self.file_bytes:
+            out["file_bytes"] = self.file_bytes
         if self.chunk_bytes != 8192:
             out["chunk_bytes"] = self.chunk_bytes
         if not self.do_fsync:
@@ -332,12 +350,17 @@ class WorkloadSpec:
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "WorkloadSpec":
+        params = d.get("params", ())
+        if isinstance(params, dict):
+            params = tuple(sorted(params.items()))
         return cls(
-            file_bytes=d["file_bytes"],
+            file_bytes=d.get("file_bytes", 0),
             chunk_bytes=d.get("chunk_bytes", 8192),
             do_fsync=d.get("do_fsync", True),
             time_limit_ns=d.get("time_limit_ns", seconds(600)),
             expect=d.get("expect", "complete"),
+            name=d.get("name"),
+            params=params,
         )
 
 
@@ -426,12 +449,17 @@ class ScenarioSpec:
     sweep_loss_rates: Tuple[float, ...] = ()
     #: Paper-experiment replay: mutually exclusive with workload/faults.
     experiment: Optional[ExperimentSpec] = None
+    #: Open-loop arrivals (repro.traffic): every bed client releases
+    #: sessions per this process instead of one closed-loop workload
+    #: body.  The ``workload`` block then (optionally) pins the mix's
+    #: default entry via name/params and still owns time_limit/expect.
+    arrivals: Optional[ArrivalSpec] = None
     expect: ExpectSpec = field(default_factory=ExpectSpec)
     provenance: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.experiment is None:
-            if self.workload is None:
+            if self.workload is None and self.arrivals is None:
                 raise ConfigError("scenario needs a workload or an experiment")
         else:
             if self.workload is not None:
@@ -439,8 +467,12 @@ class ScenarioSpec:
                     "experiment scenarios take no workload; the experiment "
                     "defines its own sweep"
                 )
+            if self.arrivals is not None:
+                raise ConfigError("experiment scenarios take no arrivals")
             if self.fault_count() or self.probes or self.sweep_loss_rates:
                 raise ConfigError("experiment scenarios take no fault schedule")
+        if self.arrivals is not None and self.sweep_loss_rates:
+            raise ConfigError("arrivals scenarios take no loss sweep")
         if self.slos and (self.experiment is not None or self.sweep_loss_rates):
             raise ConfigError(
                 "slo blocks apply to single-run workload scenarios, not "
@@ -458,6 +490,8 @@ class ScenarioSpec:
         out["bed"] = self.bed.to_dict()
         if self.workload is not None:
             out["workload"] = self.workload.to_dict()
+        if self.arrivals is not None:
+            out["arrivals"] = self.arrivals.to_dict()
         if self.experiment is not None:
             out["experiment"] = self.experiment.to_dict()
         faults: Dict[str, Any] = {}
@@ -511,6 +545,11 @@ class ScenarioSpec:
             experiment=(
                 ExperimentSpec.from_dict(d["experiment"])
                 if "experiment" in d
+                else None
+            ),
+            arrivals=(
+                ArrivalSpec.from_dict(d["arrivals"])
+                if "arrivals" in d
                 else None
             ),
             link_faults=tuple(

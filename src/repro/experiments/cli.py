@@ -228,6 +228,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="stagger client start times by this many microseconds each",
     )
     fleet.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="SPEC",
+        help="run the fleet open-loop: SPEC is a compact key=value "
+        "string (e.g. 'rate=200 duration_ms=80'), inline JSON, or a "
+        "path to a JSON arrival-spec file; each client releases "
+        "sessions on its own seeded arrival process and the run is "
+        "SLO-scored (offered-load vs goodput, knee)",
+    )
+    fleet.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="base seed for the open-loop arrival/mix/size streams "
+        "(default 1; only meaningful with --arrivals)",
+    )
+    fleet.add_argument(
+        "--slo-out",
+        default=None,
+        metavar="PATH",
+        dest="slo_out",
+        help="with --arrivals, write the repro-nfs/slo-report@1 JSON "
+        "(load curves, knee, per-SLO verdicts) to PATH",
+    )
+    fleet.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -634,6 +660,9 @@ def run_fleet(
     shards: int = 1,
     verify: bool = True,
     sanitize: bool = False,
+    arrivals: Optional[str] = None,
+    seed: int = 1,
+    slo_out: Optional[str] = None,
     out=None,
 ) -> bool:
     """``repro-nfs fleet``: one fleet point with a fairness audit.
@@ -651,7 +680,19 @@ def run_fleet(
     one.  Durable server state stays inspectable in-process, and the
     ``deterministic-replay`` invariant becomes the sharded-vs-serial
     equality check — the strongest form of the contract.
+
+    ``arrivals`` switches the fleet open-loop: every client releases
+    sessions on its own seeded arrival process (Poisson or MMPP, sized
+    draws, workload mix) instead of writing one fixed file.  The run
+    executes observed so the arrival layer's ``traffic/*`` timelines
+    exist, and the verdict gains an SLO report: offered-load vs goodput
+    curves and the located latency knee, written to ``slo_out`` when
+    given.  The durability invariant switches to the open-loop bar
+    (every planned session completed, nothing ingested left unstable)
+    because per-session sizes vary by design.
     """
+    import json
+    import os
     from contextlib import ExitStack
 
     from ..faults.scenarios import Invariant, _sanitizer_invariants
@@ -661,6 +702,15 @@ def run_fleet(
 
     if out is None:
         out = sys.stdout
+    arrival_spec = None
+    if arrivals is not None:
+        from ..traffic import parse_arrivals
+
+        text = arrivals
+        if os.path.isfile(arrivals):
+            with open(arrivals, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        arrival_spec = parse_arrivals(text)
     spec = FleetJobSpec.homogeneous(
         clients,
         target=target,
@@ -668,20 +718,33 @@ def run_fleet(
         file_bytes=file_kib * KIB,
         chunk_bytes=chunk_bytes,
         stagger_ns=us(stagger_us),
+        arrivals=arrival_spec,
+        seed=seed,
     )
     started = time.time()  # noqa: DET102 - wall-clock reporting only
+    registry = None
     with ExitStack() as stack:
         san_session = None
         if sanitize:
             from ..analysis.sanitize import sanitized
 
             san_session = stack.enter_context(sanitized())
+        if arrival_spec is not None:
+            # Open-loop runs are SLO-scored, which needs timelines, so
+            # the first execution runs observed.  The verify replay
+            # below stays unobserved — its fingerprint match doubles as
+            # the pure-observer proof.
+            from ..obs.core import observed
+
+            stack.enter_context(observed())
         if shards > 1:
             from ..parallel.des import run_sharded_fleet
 
             outcome = run_sharded_fleet(spec, shards=shards)
             point = outcome.point
             live_servers = outcome.servers
+            if outcome.observability is not None:
+                registry = outcome.observability.timelines
         else:
             topo = Topology(
                 clients=spec.clients, servers=spec.servers, switch=spec.switch
@@ -692,9 +755,14 @@ def run_fleet(
                 chunk_bytes=spec.chunk_bytes,
                 do_fsync=spec.do_fsync,
                 stagger_ns=spec.stagger_ns,
+                workload=spec.workload,
+                arrivals=spec.arrivals,
+                seed=spec.seed,
             ).run(time_limit_ns=spec.time_limit_ns)
             point = reduce_fleet(fleet)
             live_servers = topo.servers
+            if arrival_spec is not None:
+                registry = topo.obs.timelines
     elapsed = time.time() - started  # noqa: DET102
 
     rows = [
@@ -705,8 +773,16 @@ def run_fleet(
     ]
     width = max(len(r[0]) for r in rows)
     sharding = f", {shards} shards" if shards > 1 else ""
+    if arrival_spec is not None:
+        load = (
+            f"open-loop {arrival_spec.process} "
+            f"{arrival_spec.rate_per_s:g}/s x "
+            f"{arrival_spec.duration_ns / 1e6:g} ms"
+        )
+    else:
+        load = f"{file_kib} KiB each"
     out.write(f"{clients} x {client_variant} client(s) -> {target}, "
-              f"{file_kib} KiB each{sharding}\n")
+              f"{load}{sharding}\n")
     out.write(f"{'client'.ljust(width)}  write MBps   p99 us\n")
     for name, mb, p99 in rows:
         out.write(f"{name.ljust(width)}  {mb.rjust(10)}  {p99.rjust(7)}\n")
@@ -724,22 +800,76 @@ def run_fleet(
             f"{row['downlink_queue_ns'] / 1e6:.1f} ms total\n"
         )
 
+    slo_report = None
+    if arrival_spec is not None and registry is not None:
+        from ..obs.slo import evaluate_slos
+
+        slo_report = evaluate_slos(registry)
+        offered_total = sum(n for _, n in slo_report["load"]["offered_bytes"])
+        goodput_total = sum(n for _, n in slo_report["load"]["goodput_bytes"])
+        out.write(
+            f"offered {offered_total / 1e6:.2f} MB over "
+            f"{len(slo_report['load']['offered_bytes'])} windows, "
+            f"goodput {goodput_total / 1e6:.2f} MB over "
+            f"{len(slo_report['load']['goodput_bytes'])}\n"
+        )
+        knee = slo_report["knee"]
+        if knee is not None:
+            out.write(
+                f"knee at {knee['offered_bytes_per_window']} B/window "
+                f"(p99 {knee['p99']:.1f} us, window starting "
+                f"{knee['window_start_ns'] / 1e6:.1f} ms)\n"
+            )
+        else:
+            out.write("knee: not located (load curve too short or flat)\n")
+        if slo_out is not None:
+            with open(slo_out, "w", encoding="utf-8") as handle:
+                json.dump(slo_report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            out.write(f"slo report -> {slo_out}\n")
+
     invariants = []
+    if arrival_spec is not None:
+        planned = sum(
+            c.get("extra", {}).get("sessions", 0) for c in point.clients
+        )
+        completed = sum(c.get("ops", 0) for c in point.clients)
+        invariants.append(
+            Invariant(
+                "open-loop-complete",
+                planned > 0 and completed == planned,
+                f"{completed}/{planned} sessions completed",
+            )
+        )
     for server in live_servers:
         if server is None:
             continue
-        laggards = sorted(
-            f.name
-            for f in server.files.values()
-            if f.size != spec.file_bytes or f.stable_bytes < f.size
-        )
-        invariants.append(
-            Invariant(
-                f"files-complete-durable[{server.name}]",
-                len(server.files) == clients and not laggards,
-                f"{len(server.files)} files, incomplete: {laggards}",
+        if arrival_spec is not None:
+            laggards = sorted(
+                f.name
+                for f in server.files.values()
+                if f.stable_bytes < f.size
             )
-        )
+            invariants.append(
+                Invariant(
+                    f"open-loop-durable[{server.name}]",
+                    not laggards,
+                    f"unstable files: {laggards}",
+                )
+            )
+        else:
+            laggards = sorted(
+                f.name
+                for f in server.files.values()
+                if f.size != spec.file_bytes or f.stable_bytes < f.size
+            )
+            invariants.append(
+                Invariant(
+                    f"files-complete-durable[{server.name}]",
+                    len(server.files) == clients and not laggards,
+                    f"{len(server.files)} files, incomplete: {laggards}",
+                )
+            )
         bound = 1.1 * server.ingest_bytes_per_sec
         invariants.append(
             Invariant(
@@ -749,7 +879,7 @@ def run_fleet(
                 "the server's ingest rate",
             )
         )
-    if stagger_us == 0:
+    if stagger_us == 0 and arrival_spec is None:
         invariants.append(
             Invariant(
                 "fair-share",
@@ -999,6 +1129,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             shards=args.shards,
             verify=not args.no_verify,
             sanitize=args.sanitize,
+            arrivals=args.arrivals,
+            seed=args.seed,
+            slo_out=args.slo_out,
         )
         return 0 if ok else 1
     if args.command == "bench":

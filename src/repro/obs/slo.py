@@ -360,12 +360,26 @@ def _evaluate_one(
     return row
 
 
+def _offered_windows(registry: TimelineRegistry) -> Dict[int, int]:
+    """Per-window offered bytes.
+
+    Open-loop runs record the arrival process's intent as
+    ``traffic/offered_bytes`` — the true offered load, independent of
+    how fast the system absorbs it.  Closed-loop runs have no arrival
+    process, so the syscall layer's accepted writes stand in for it.
+    """
+    offered = _sum_windows(registry, "traffic/offered_bytes")
+    if offered:
+        return offered
+    return _sum_windows(registry, "syscall/write_bytes")
+
+
 def _load_curves(
     registry: TimelineRegistry,
 ) -> Tuple[List[List[int]], List[List[int]]]:
     """Offered-load and goodput timelines (bytes per window)."""
     window_ns = registry.window_ns
-    offered = _sum_windows(registry, "syscall/write_bytes")
+    offered = _offered_windows(registry)
     goodput = _sum_windows(registry, "ingest_bytes")
     return (
         [[wi * window_ns, n] for wi, n in sorted(offered.items())],
@@ -380,7 +394,7 @@ def _knee(
     objective = _merged_objective(registry, objective_metric)
     if objective is None:
         return None
-    offered = _sum_windows(registry, "syscall/write_bytes")
+    offered = _offered_windows(registry)
     points = []
     for wi, hist in objective.items():
         if hist.count and wi in offered:

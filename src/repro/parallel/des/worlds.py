@@ -29,7 +29,7 @@ from ...net.switch import Switch
 from ...obs.core import Observability, ScopedObservability
 from ...sim import Simulator
 from ...topology.build import ClientStack, materialise_server, _named_server_specs
-from ...topology.fleet import client_row, fleet_client_body, server_rows
+from ...topology.fleet import fleet_workload_for, server_rows
 from .plan import FleetFaults, ShardPlan, client_names
 
 __all__ = ["BoundaryLink", "ClientShardWorld", "HubWorld", "SPAN_NAMESPACE_STRIDE"]
@@ -168,19 +168,20 @@ class ClientShardWorld:
         faults.apply_links(self.switch)
         self.starvations = faults.apply_client_events(self.stacks)
         # Workload tasks spawn before the first window, as in serial.
+        from ...bench.workloads import client_workload_body
+
+        self.workloads = [fleet_workload_for(spec, stack) for stack in self.stacks]
         self.tasks = [
             self.sim.spawn(
-                fleet_client_body(
+                client_workload_body(
                     stack,
+                    workload,
                     stack.spec.start_offset_ns + stack.index * spec.stagger_ns,
-                    stack.spec.chunk_bytes or spec.chunk_bytes,
-                    spec.file_bytes,
-                    spec.do_fsync,
                 ),
                 name=f"benchmark-{stack.name}",
                 daemon=True,
             )
-            for stack in self.stacks
+            for stack, workload in zip(self.stacks, self.workloads)
         ]
 
     # -- window protocol -----------------------------------------------------
@@ -202,11 +203,13 @@ class ClientShardWorld:
     def finalise(self) -> Dict[str, Any]:
         """Reduce results once the fleet has globally completed."""
         rows, errors = [], []
-        for stack, task in zip(self.stacks, self.tasks):
+        for stack, workload, task in zip(self.stacks, self.workloads, self.tasks):
             if task.error is not None:
                 errors.append((stack.index, task.error))
             elif task.done:
-                rows.append((stack.index, client_row(stack.name, *task.result)))
+                rows.append(
+                    (stack.index, workload.row(stack.name, *task.result))
+                )
         findings = []
         for stack in self.stacks:
             if stack.sanitizer is not None:

@@ -19,9 +19,10 @@ is now a thin shim over it.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Union
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Union
 
-from ..bench.bonnie import BenchmarkResult, SequentialWriteBenchmark
+from ..bench.bonnie import BenchmarkResult
 from ..config import ClientHwConfig, MountConfig, NetConfig, NfsClientConfig
 from ..errors import ConfigError
 from ..kernel.pagecache import PageCache
@@ -230,30 +231,50 @@ class Topology:
         time_limit_ns: Optional[int] = None,
         client: int = 0,
     ) -> BenchmarkResult:
-        """Run one sequential-write benchmark on one client (blocking).
+        """Deprecated: run the sequential-write workload on one client.
 
-        Fleet runs — every client writing concurrently — live in
+        A bit-identical shim over the workload registry — use
+        ``run_workload("sequential-write", ...)`` instead.  Fleet runs
+        — every client writing concurrently — live in
         :class:`repro.topology.fleet.FleetWorkload`.
         """
-        stack = self.clients[client]
-        bench = SequentialWriteBenchmark(
-            stack.syscalls, chunk_bytes=chunk_bytes, do_fsync=do_fsync
+        warnings.warn(
+            "Topology.run_sequential_write is deprecated; use "
+            'Topology.run_workload("sequential-write", ...) instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run_workload(
+            "sequential-write",
+            {
+                "file_bytes": file_bytes,
+                "chunk_bytes": chunk_bytes,
+                "do_fsync": do_fsync,
+                "file_name": "testfile",
+            },
+            time_limit_ns=time_limit_ns,
+            client=client,
         )
 
-        def body():
-            file = yield from stack.open_file()
-            result = yield from bench.run(file, file_bytes)
-            return result
+    def run_workload(
+        self,
+        name: str,
+        params: Optional[Dict[str, Any]] = None,
+        time_limit_ns: Optional[int] = None,
+        client: int = 0,
+    ):
+        """Run one registered workload on one client (blocking).
 
-        task = self.sim.spawn(body(), name="benchmark", daemon=True)
-        self.sim.run_until(lambda: task.done, limit=time_limit_ns)
-        if not task.done:
-            raise ConfigError("benchmark did not finish; simulation wedged?")
-        if task.error is not None:
-            raise task.error
-        if stack.profiler is not None:
-            stack.profiler.stop()
-        return task.result
+        Returns the workload body's result (a ``BenchmarkResult`` for
+        ``"sequential-write"``, a ``WorkloadOutcome`` otherwise).
+        """
+        from ..bench.workloads import get_workload, run_client_workload
+
+        workload = get_workload(name, params)
+        _start, _end, result = run_client_workload(
+            self, workload, client=client, time_limit_ns=time_limit_ns
+        )
+        return result
 
 
 def materialise_server(sim: Simulator, switch: Switch, spec: ServerSpec):

@@ -1,12 +1,14 @@
-"""Fleet workloads: N concurrent sequential writers on one Topology.
+"""Fleet workloads: N concurrent clients on one Topology.
 
-:class:`FleetWorkload` runs every client of a topology through the
-paper's sequential-write benchmark *simultaneously* — optionally with
-staggered starts and per-client write sizes — and reduces the outcome
-to per-client and aggregate figures: individual throughput and p99
-write latency, aggregate throughput over the contended window, Jain's
-fairness index across clients, and the servers' per-source ingest
-shares plus output-port queueing.
+:class:`FleetWorkload` runs every client of a topology through a
+registered :class:`~repro.bench.workloads.Workload` *simultaneously* —
+the paper's sequential writer by default, any registry entry (including
+the open-loop traffic driver of :mod:`repro.traffic`) by name —
+optionally with staggered starts and per-client write sizes — and
+reduces the outcome to per-client and aggregate figures: individual
+throughput and p99 write latency, aggregate throughput over the
+contended window, Jain's fairness index across clients, and the
+servers' per-source ingest shares plus output-port queueing.
 
 The sweep-facing half mirrors :mod:`repro.parallel.executor`:
 :class:`FleetJobSpec` is a picklable value object describing one fleet
@@ -22,10 +24,10 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.stats import jain_index
-from ..bench.bonnie import BenchmarkResult, SequentialWriteBenchmark
+from ..bench.bonnie import BenchmarkResult
 from ..cache import fingerprint
 from ..errors import ConfigError
 from ..units import throughput, to_mbps, to_us
@@ -39,6 +41,7 @@ __all__ = [
     "FleetJobSpec",
     "FleetPointResult",
     "fleet_client_body",
+    "fleet_workload_for",
     "client_row",
     "server_rows",
     "reduce_fleet",
@@ -48,26 +51,42 @@ __all__ = [
 
 @dataclass
 class FleetClientResult:
-    """One client's run inside a fleet: absolute window + benchmark."""
+    """One client's run inside a fleet: absolute window + outcome.
+
+    ``result`` is whatever the client's workload body returned — a
+    :class:`BenchmarkResult` for the sequential writer, a
+    :class:`~repro.bench.workloads.WorkloadOutcome` for everything
+    else; the accessors below bridge the two shapes.
+    """
 
     name: str
-    #: Simulated time this client's benchmark actually began (after any
+    #: Simulated time this client's workload actually began (after any
     #: staggered-start offset) and finished.
     start_ns: int
     end_ns: int
-    result: BenchmarkResult
+    result: Any
+
+    @property
+    def bytes_written(self) -> int:
+        if isinstance(self.result, BenchmarkResult):
+            return self.result.file_bytes
+        return self.result.bytes_written
 
     @property
     def write_throughput(self) -> float:
-        return self.result.write_throughput
+        if isinstance(self.result, BenchmarkResult):
+            return self.result.write_throughput
+        return throughput(self.bytes_written, self.end_ns - self.start_ns)
 
     @property
     def write_mbps(self) -> float:
-        return self.result.write_mbps
+        return to_mbps(self.write_throughput)
 
     @property
     def close_mbps(self) -> float:
-        return self.result.close_mbps
+        if isinstance(self.result, BenchmarkResult):
+            return self.result.close_mbps
+        return self.write_mbps
 
     @property
     def p99_ns(self) -> int:
@@ -84,10 +103,14 @@ class FleetResult:
     #: Per-server accounting rows (name, bytes, shares, port queueing),
     #: in server order.
     servers: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-client reduced rows in client order, built by each client's
+    #: workload (``None`` for hand-assembled legacy results — the
+    #: reducer falls back to the sequential-write row shape).
+    rows: Optional[List[Dict[str, Any]]] = None
 
     @property
     def total_bytes(self) -> int:
-        return sum(c.result.file_bytes for c in self.clients)
+        return sum(c.bytes_written for c in self.clients)
 
     @property
     def span_ns(self) -> int:
@@ -120,7 +143,13 @@ class FleetResult:
 
 
 class FleetWorkload:
-    """N concurrent sequential writers, one per topology client.
+    """N concurrent workload bodies, one per topology client.
+
+    The default is the paper's sequential writer (``file_bytes``/
+    ``chunk_bytes``/``do_fsync``); ``workload=(name, params)`` swaps in
+    any registered :class:`~repro.bench.workloads.Workload`, and
+    ``arrivals=ArrivalSpec(...)`` runs every client open-loop through
+    the ``"open-loop"`` driver on ``seed``-keyed streams.
 
     ``stagger_ns`` adds ``index * stagger_ns`` to each client's start
     on top of its spec's own ``start_offset_ns``; a client spec's
@@ -131,12 +160,15 @@ class FleetWorkload:
     def __init__(
         self,
         topology: Topology,
-        file_bytes: int,
+        file_bytes: int = 0,
         chunk_bytes: int = 8192,
         do_fsync: bool = True,
         stagger_ns: int = 0,
+        workload: Optional[Tuple[str, Any]] = None,
+        arrivals: Any = None,
+        seed: int = 1,
     ):
-        if file_bytes <= 0:
+        if workload is None and arrivals is None and file_bytes <= 0:
             raise ConfigError("file_bytes must be positive")
         if stagger_ns < 0:
             raise ConfigError("stagger_ns must be >= 0")
@@ -145,23 +177,44 @@ class FleetWorkload:
         self.chunk_bytes = chunk_bytes
         self.do_fsync = do_fsync
         self.stagger_ns = stagger_ns
+        self.workload = workload
+        self.arrivals = arrivals
+        self.seed = seed
 
-    def _body(self, stack, offset_ns: int, chunk_bytes: int):
-        return fleet_client_body(
-            stack, offset_ns, chunk_bytes, self.file_bytes, self.do_fsync
+    def _workload_for(self, stack):
+        from ..bench.workloads import get_workload
+
+        if self.arrivals is not None:
+            return get_workload(
+                "open-loop", {"arrivals": self.arrivals, "seed": self.seed}
+            )
+        if self.workload is not None:
+            name, params = self.workload
+            return get_workload(name, dict(params))
+        return get_workload(
+            "sequential-write",
+            {
+                "file_bytes": self.file_bytes,
+                "chunk_bytes": stack.spec.chunk_bytes or self.chunk_bytes,
+                "do_fsync": self.do_fsync,
+            },
         )
 
     def run(self, time_limit_ns: Optional[int] = None) -> FleetResult:
         """Run every client to completion (blocking); returns the fleet."""
+        from ..bench.workloads import client_workload_body
+
         topo = self.topology
         sim = topo.sim
         tasks = []
+        workloads = []
         for stack in topo.clients:
             offset = stack.spec.start_offset_ns + stack.index * self.stagger_ns
-            chunk = stack.spec.chunk_bytes or self.chunk_bytes
+            workload = self._workload_for(stack)
+            workloads.append(workload)
             tasks.append(
                 sim.spawn(
-                    self._body(stack, offset, chunk),
+                    client_workload_body(stack, workload, offset),
                     name=f"benchmark-{stack.name}",
                     daemon=True,
                 )
@@ -185,30 +238,64 @@ class FleetWorkload:
             FleetClientResult(stack.name, *task.result)
             for stack, task in zip(topo.clients, tasks)
         ]
+        rows = [
+            workload.row(stack.name, *task.result)
+            for stack, workload, task in zip(topo.clients, workloads, tasks)
+        ]
         return FleetResult(
             clients=clients,
             events_processed=sim.events_processed,
             servers=_server_rows(topo),
+            rows=rows,
         )
 
 
-def fleet_client_body(stack, offset_ns: int, chunk_bytes: int, file_bytes: int, do_fsync: bool):
-    """The per-client fleet workload generator.
+def fleet_workload_for(spec: "FleetJobSpec", stack):
+    """The Workload instance one client of a :class:`FleetJobSpec` runs.
 
-    Module-level so shard workers run the *same* generator — byte for
-    byte — as the serial :class:`FleetWorkload`; any drift here would
-    show up as a fingerprint mismatch, not a subtle skew.
+    Module-level and spec-driven so shard workers instantiate exactly
+    what the serial fleet instantiates; the per-stack ``chunk_bytes``
+    override only applies to the default sequential writer, as it
+    always has.
     """
-    sim = stack.sim
-    if offset_ns > 0:
-        yield sim.timeout(offset_ns)
-    bench = SequentialWriteBenchmark(
-        stack.syscalls, chunk_bytes=chunk_bytes, do_fsync=do_fsync
+    from ..bench.workloads import get_workload
+
+    if spec.arrivals is not None:
+        return get_workload(
+            "open-loop", {"arrivals": spec.arrivals, "seed": spec.seed}
+        )
+    if spec.workload is not None:
+        name, params = spec.workload
+        return get_workload(name, dict(params))
+    return get_workload(
+        "sequential-write",
+        {
+            "file_bytes": spec.file_bytes,
+            "chunk_bytes": stack.spec.chunk_bytes or spec.chunk_bytes,
+            "do_fsync": spec.do_fsync,
+        },
     )
-    start = sim.now
-    file = yield from stack.open_file(f"{stack.name}-file")
-    result = yield from bench.run(file, file_bytes)
-    return (start, sim.now, result)
+
+
+def fleet_client_body(stack, offset_ns: int, chunk_bytes: int, file_bytes: int, do_fsync: bool):
+    """Deprecated: the pre-registry fleet writer signature.
+
+    Kept as a bit-identical shim over the registered sequential-write
+    workload; new code should go through the registry
+    (:func:`repro.bench.workloads.get_workload` +
+    :func:`repro.bench.workloads.client_workload_body`).
+    """
+    from ..bench.workloads import client_workload_body, get_workload
+
+    workload = get_workload(
+        "sequential-write",
+        {
+            "file_bytes": file_bytes,
+            "chunk_bytes": chunk_bytes,
+            "do_fsync": do_fsync,
+        },
+    )
+    return client_workload_body(stack, workload, offset_ns)
 
 
 def server_rows(servers, switch) -> List[Dict[str, Any]]:
@@ -241,7 +328,15 @@ def _server_rows(topo: Topology) -> List[Dict[str, Any]]:
 
 @dataclass(frozen=True)
 class FleetJobSpec:
-    """One fleet sweep point, expressed entirely as picklable specs."""
+    """One fleet sweep point, expressed entirely as picklable specs.
+
+    ``workload`` (a ``(name, ((key, value), ...))`` pair) swaps the
+    default sequential writer for any registered workload; ``arrivals``
+    (an :class:`~repro.traffic.spec.ArrivalSpec` or its dict form)
+    runs every client open-loop, with ``seed`` keying the per-client
+    arrival/size/mix streams.  Both ride the cache fingerprint like any
+    other spec field.
+    """
 
     clients: Sequence[ClientSpec]
     servers: Sequence[ServerSpec] = (ServerSpec(),)
@@ -251,6 +346,24 @@ class FleetJobSpec:
     do_fsync: bool = True
     stagger_ns: int = 0
     time_limit_ns: Optional[int] = None
+    workload: Optional[Tuple[str, Tuple[Tuple[str, Any], ...]]] = None
+    arrivals: Any = None
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.workload is not None and self.arrivals is not None:
+            raise ConfigError("give either workload or arrivals, not both")
+        if self.workload is not None:
+            name, params = self.workload
+            if isinstance(params, dict):
+                params = tuple(sorted(params.items()))
+            object.__setattr__(self, "workload", (name, tuple(params)))
+        if isinstance(self.arrivals, dict):
+            from ..traffic.spec import ArrivalSpec
+
+            object.__setattr__(
+                self, "arrivals", ArrivalSpec.from_dict(self.arrivals)
+            )
 
     @staticmethod
     def homogeneous(
@@ -387,9 +500,13 @@ def client_row(name: str, start_ns: int, end_ns: int, result: BenchmarkResult) -
 
 def reduce_fleet(fleet: FleetResult) -> FleetPointResult:
     """Reduce a live :class:`FleetResult` to its cacheable point form."""
-    clients = [
-        client_row(c.name, c.start_ns, c.end_ns, c.result) for c in fleet.clients
-    ]
+    if fleet.rows is not None:
+        clients = fleet.rows
+    else:
+        clients = [
+            client_row(c.name, c.start_ns, c.end_ns, c.result)
+            for c in fleet.clients
+        ]
     return FleetPointResult(
         clients=clients,
         servers=fleet.servers,
@@ -421,6 +538,9 @@ def run_fleet_job(
         chunk_bytes=spec.chunk_bytes,
         do_fsync=spec.do_fsync,
         stagger_ns=spec.stagger_ns,
+        workload=spec.workload,
+        arrivals=spec.arrivals,
+        seed=spec.seed,
     )
     return reduce_fleet(workload.run(time_limit_ns=spec.time_limit_ns))
 

@@ -1,0 +1,25 @@
+"""Open-loop traffic generation: arrival processes, size draws, mixes.
+
+The production-traffic layer the ROADMAP calls for: Poisson and bursty
+(MMPP) session arrivals with heavy-tailed size draws and diurnal load
+curves, planned deterministically per client on named seeded streams
+and released open-loop onto fleet clients through the
+:class:`~repro.bench.workloads.Workload` registry (the ``"open-loop"``
+workload).  See ``docs/workloads.md``.
+"""
+
+from .arrivals import arrival_times, draw_size
+from .openloop import OpenLoopWorkload, Session, plan_sessions
+from .spec import ArrivalSpec, MixEntry, SizeSpec, parse_arrivals
+
+__all__ = [
+    "ArrivalSpec",
+    "MixEntry",
+    "SizeSpec",
+    "parse_arrivals",
+    "arrival_times",
+    "draw_size",
+    "Session",
+    "plan_sessions",
+    "OpenLoopWorkload",
+]

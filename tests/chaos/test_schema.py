@@ -126,3 +126,79 @@ def test_loads_scenario_substitutes_then_validates():
     assert spec.workload.file_bytes == 65536
     with pytest.raises(SchemaError):
         loads_scenario(json.dumps(doc), env={"FB": "not-a-number"})
+
+
+# -- the arrivals block (PR 10) -----------------------------------------------
+
+
+def arrivals_doc(**arrival_overrides):
+    arrivals = {
+        "process": "poisson",
+        "rate_per_s": 100.0,
+        "duration_ns": 50000000,
+    }
+    arrivals.update(arrival_overrides)
+    doc = minimal(arrivals=arrivals)
+    del doc["workload"]
+    return doc
+
+
+def test_arrivals_block_validates():
+    validate(arrivals_doc(), SCENARIO_SCHEMA)
+
+
+def test_arrivals_full_block_validates():
+    validate(
+        arrivals_doc(
+            process="mmpp",
+            burst_rate_per_s=400.0,
+            mean_idle_ns=20000000,
+            mean_burst_ns=10000000,
+            sizes={"dist": "lognormal", "bytes": 65536, "sigma": 1.0},
+            mix=[
+                {"workload": "sequential-write", "weight": 3.0},
+                {"workload": "database-fsync", "params": {"transactions": 5}},
+            ],
+            diurnal=[0.5, 1.0, 2.0],
+            max_sessions=64,
+        ),
+        SCENARIO_SCHEMA,
+    )
+
+
+def test_arrivals_process_enum_names_path():
+    with pytest.raises(SchemaError, match=r"\$\.arrivals\.process"):
+        validate(arrivals_doc(process="periodic"), SCENARIO_SCHEMA)
+
+
+def test_arrivals_rate_type_names_path():
+    with pytest.raises(SchemaError, match=r"\$\.arrivals\.rate_per_s"):
+        validate(arrivals_doc(rate_per_s="fast"), SCENARIO_SCHEMA)
+
+
+def test_arrivals_unknown_key_names_path():
+    with pytest.raises(SchemaError, match="unknown key"):
+        validate(arrivals_doc(cadence=3), SCENARIO_SCHEMA)
+
+
+def test_arrivals_sizes_dist_enum_names_path():
+    with pytest.raises(SchemaError, match=r"\$\.arrivals\.sizes\.dist"):
+        validate(arrivals_doc(sizes={"dist": "zipf"}), SCENARIO_SCHEMA)
+
+
+def test_arrivals_mix_entry_needs_workload():
+    with pytest.raises(
+        SchemaError, match=r"\$\.arrivals\.mix\[0\].*workload"
+    ):
+        validate(arrivals_doc(mix=[{"weight": 1.0}]), SCENARIO_SCHEMA)
+
+
+def test_arrivals_empty_mix_rejected():
+    with pytest.raises(SchemaError, match=r"\$\.arrivals\.mix"):
+        validate(arrivals_doc(mix=[]), SCENARIO_SCHEMA)
+
+
+def test_workload_name_admitted_without_file_bytes():
+    doc = minimal(workload={"name": "database-fsync",
+                            "params": {"transactions": 10}})
+    validate(doc, SCENARIO_SCHEMA)

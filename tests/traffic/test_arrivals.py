@@ -1,0 +1,123 @@
+"""Fixed-seed stability of the arrival and size draws.
+
+The pinned sequences below are the bit-reproducibility contract for
+the traffic layer: any change to the draw layout (order, count, or
+distribution of RNG consumption) shows up here before it silently
+changes every open-loop fleet fingerprint.
+"""
+
+from repro.sim import RngStreams
+from repro.traffic import ArrivalSpec, SizeSpec, arrival_times, draw_size
+from repro.units import ms
+
+SEED = 7
+
+
+def _stream(name="traffic/client0/arrivals"):
+    return RngStreams(SEED).stream(name)
+
+
+def test_poisson_sequence_pinned():
+    spec = ArrivalSpec(process="poisson", rate_per_s=200.0, duration_ns=ms(100))
+    times = arrival_times(spec, _stream())
+    assert len(times) == 13
+    assert times[:5] == [53443, 2618975, 3295385, 5896899, 17556104]
+    assert times == sorted(times)
+    assert all(0 <= t < ms(100) for t in times)
+
+
+def test_mmpp_sequence_pinned():
+    spec = ArrivalSpec(
+        process="mmpp",
+        rate_per_s=50.0,
+        burst_rate_per_s=800.0,
+        mean_idle_ns=ms(30),
+        mean_burst_ns=ms(10),
+        duration_ns=ms(100),
+    )
+    times = arrival_times(spec, _stream())
+    assert len(times) == 50
+    assert times[:5] == [378903, 1003033, 2303115, 5371644, 5480193]
+
+
+def test_diurnal_sequence_pinned():
+    spec = ArrivalSpec(
+        process="poisson",
+        rate_per_s=200.0,
+        duration_ns=ms(100),
+        diurnal=(0.25, 1.0, 2.0),
+    )
+    times = arrival_times(spec, _stream())
+    assert len(times) == 19
+    assert times[:5] == [31700614, 40274234, 52789556, 54610998, 55057685]
+
+
+def test_diurnal_shifts_load_toward_heavy_phase():
+    spec = ArrivalSpec(
+        process="poisson",
+        rate_per_s=400.0,
+        duration_ns=ms(90),
+        diurnal=(0.25, 1.0, 4.0),
+    )
+    times = arrival_times(spec, _stream())
+    third = ms(30)
+    early = sum(1 for t in times if t < third)
+    late = sum(1 for t in times if t >= 2 * third)
+    assert late > early
+
+
+def test_arrivals_deterministic_per_stream():
+    spec = ArrivalSpec(process="poisson", rate_per_s=300.0, duration_ns=ms(50))
+    assert arrival_times(spec, _stream()) == arrival_times(spec, _stream())
+    # A different client's stream draws a different sample path.
+    other = RngStreams(SEED).stream("traffic/client1/arrivals")
+    assert arrival_times(spec, other) != arrival_times(spec, _stream())
+
+
+def test_max_sessions_truncates():
+    spec = ArrivalSpec(
+        process="poisson", rate_per_s=2000.0, duration_ns=ms(100),
+        max_sessions=5,
+    )
+    assert len(arrival_times(spec, _stream())) == 5
+
+
+def test_lognormal_draws_pinned():
+    sizes = SizeSpec(
+        dist="lognormal", bytes=65536, sigma=1.0,
+        min_bytes=4096, max_bytes=1 << 20,
+    )
+    rng = RngStreams(SEED).stream("traffic/client0/sizes")
+    assert [draw_size(sizes, rng) for _ in range(4)] == [
+        106067, 184835, 279297, 424778,
+    ]
+
+
+def test_pareto_draws_pinned():
+    sizes = SizeSpec(
+        dist="pareto", bytes=32768, alpha=1.5,
+        min_bytes=4096, max_bytes=1 << 20,
+    )
+    rng = RngStreams(SEED).stream("traffic/client0/sizes")
+    assert [draw_size(sizes, rng) for _ in range(4)] == [
+        74103, 40276, 120170, 46493,
+    ]
+
+
+def test_fixed_draws_consume_no_randomness():
+    sizes = SizeSpec(dist="fixed", bytes=131072)
+    rng = RngStreams(SEED).stream("traffic/client0/sizes")
+    before = rng.random()
+    rng = RngStreams(SEED).stream("traffic/client0/sizes")
+    assert draw_size(sizes, rng) == 131072
+    assert rng.random() == before
+
+
+def test_draws_respect_clamp():
+    sizes = SizeSpec(
+        dist="pareto", bytes=32768, alpha=1.1,
+        min_bytes=16384, max_bytes=65536,
+    )
+    rng = RngStreams(SEED).stream("traffic/client0/sizes")
+    draws = [draw_size(sizes, rng) for _ in range(200)]
+    assert all(16384 <= d <= 65536 for d in draws)

@@ -1,0 +1,122 @@
+"""Arrival-spec parsing and validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic import ArrivalSpec, MixEntry, SizeSpec, parse_arrivals
+from repro.units import ms
+
+
+def test_defaults_round_trip():
+    spec = ArrivalSpec()
+    assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_full_round_trip():
+    spec = ArrivalSpec(
+        process="mmpp",
+        rate_per_s=40.0,
+        burst_rate_per_s=400.0,
+        mean_idle_ns=ms(20),
+        mean_burst_ns=ms(10),
+        duration_ns=ms(80),
+        sizes=SizeSpec(dist="lognormal", bytes=65536, sigma=1.2),
+        mix=(
+            MixEntry(workload="sequential-write", weight=3.0),
+            MixEntry(
+                workload="database-fsync",
+                weight=1.0,
+                params=(("transactions", 20),),
+            ),
+        ),
+        diurnal=(0.5, 1.0, 2.0),
+        max_sessions=64,
+    )
+    assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_compact_form_comma_separated():
+    spec = parse_arrivals(
+        "process=poisson,rate=40,duration_ms=100,dist=lognormal,"
+        "bytes=131072,sigma=1.2,workload=database-fsync,"
+        "diurnal=0.5/1.0/2.0"
+    )
+    assert spec.process == "poisson"
+    assert spec.rate_per_s == 40.0
+    assert spec.duration_ns == ms(100)
+    assert spec.sizes.dist == "lognormal"
+    assert spec.sizes.bytes == 131072
+    assert spec.mix == (MixEntry(workload="database-fsync"),)
+    assert spec.diurnal == (0.5, 1.0, 2.0)
+
+
+def test_compact_form_space_separated():
+    spec = parse_arrivals("rate=300 duration_ms=80 dist=fixed bytes=65536")
+    assert spec.rate_per_s == 300.0
+    assert spec.duration_ns == ms(80)
+    assert spec.sizes.bytes == 65536
+
+
+def test_compact_form_json():
+    spec = parse_arrivals('{"process": "poisson", "rate_per_s": 25.0}')
+    assert spec.rate_per_s == 25.0
+
+
+def test_compact_rejects_unknown_key():
+    with pytest.raises(ConfigError, match="unknown arrival spec key"):
+        parse_arrivals("rate=40,bogus=1")
+
+
+def test_compact_rejects_bad_value():
+    with pytest.raises(ConfigError, match="bad value"):
+        parse_arrivals("rate=fast")
+
+
+def test_compact_rejects_bare_token():
+    with pytest.raises(ConfigError, match="key=value"):
+        parse_arrivals("poisson")
+
+
+def test_empty_spec_rejected():
+    with pytest.raises(ConfigError, match="empty"):
+        parse_arrivals("   ")
+
+
+def test_bad_json_rejected():
+    with pytest.raises(ConfigError, match="bad arrival spec JSON"):
+        parse_arrivals("{not json")
+
+
+def test_unknown_dict_key_rejected():
+    with pytest.raises(ConfigError, match="unknown"):
+        ArrivalSpec.from_dict({"process": "poisson", "surprise": 1})
+
+
+def test_unknown_process_rejected():
+    with pytest.raises(ConfigError, match="process"):
+        ArrivalSpec(process="periodic")
+
+
+def test_mmpp_needs_burst_rate():
+    with pytest.raises(ConfigError, match="burst_rate_per_s"):
+        ArrivalSpec(process="mmpp")
+
+
+def test_negative_rate_rejected():
+    with pytest.raises(ConfigError, match="rate_per_s"):
+        ArrivalSpec(rate_per_s=-1.0)
+
+
+def test_empty_mix_rejected():
+    with pytest.raises(ConfigError, match="mix"):
+        ArrivalSpec(mix=())
+
+
+def test_size_bounds_validated():
+    with pytest.raises(ConfigError, match="min_bytes"):
+        SizeSpec(min_bytes=1 << 20, max_bytes=4096)
+
+
+def test_unknown_dist_rejected():
+    with pytest.raises(ConfigError, match="dist"):
+        SizeSpec(dist="zipf")
